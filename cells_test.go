@@ -1,0 +1,98 @@
+package seed_test
+
+// Multi-cell handover tests: the §2 small-cell story — frequent handovers,
+// occasional context-transfer losses, and SEED's recovery advantage.
+
+import (
+	"testing"
+	"time"
+
+	seed "github.com/seed5g/seed"
+)
+
+func TestCleanHandoverKeepsService(t *testing.T) {
+	tb := seed.New(61)
+	tb.EnableCells(3, 0)
+	d := tb.NewDevice(seed.ModeSEEDR)
+	d.Start()
+	if !tb.RunUntil(d.Connected, time.Minute) {
+		t.Fatal("attach failed")
+	}
+	for _, cell := range []int{1, 2, 0, 2} {
+		onset := tb.Now()
+		if !tb.Handover(d, cell, false) {
+			t.Fatalf("handover to %d lost context unexpectedly", cell)
+		}
+		if tb.ServingCell(d) != cell {
+			t.Fatalf("serving cell = %d", tb.ServingCell(d))
+		}
+		if !tb.RunUntil(func() bool { return tb.Now() > onset && d.Connected() }, time.Minute) {
+			t.Fatalf("service not restored after handover to %d", cell)
+		}
+		// A clean handover's mobility registration costs well under a
+		// second (GUTI still valid, no search).
+		if gap := tb.Now() - onset; gap > time.Second {
+			t.Fatalf("clean handover outage = %v", gap)
+		}
+	}
+	ho, lost := tb.Handovers()
+	if ho != 4 || lost != 0 {
+		t.Fatalf("handover stats = %d/%d", ho, lost)
+	}
+}
+
+func TestLossyHandoverContrast(t *testing.T) {
+	run := func(mode seed.Mode) time.Duration {
+		tb := seed.New(62)
+		tb.EnableCells(2, 0)
+		d := tb.NewDevice(mode)
+		d.Start()
+		tb.RunUntil(d.Connected, time.Minute)
+		onset := tb.Now()
+		if tb.Handover(d, 1, true) {
+			t.Fatal("forced loss reported success")
+		}
+		if !tb.RunUntil(func() bool { return tb.Now() > onset && d.Connected() }, 30*time.Minute) {
+			return -1
+		}
+		return tb.Now() - onset
+	}
+	legacy := run(seed.ModeLegacy)
+	seedR := run(seed.ModeSEEDR)
+	if seedR < 0 || seedR > 10*time.Second {
+		t.Fatalf("SEED-R lossy-handover recovery = %v", seedR)
+	}
+	if legacy >= 0 && legacy < 10*seedR {
+		t.Fatalf("legacy (%v) does not show the expected contrast (SEED-R %v)", legacy, seedR)
+	}
+}
+
+func TestRandomWalkAcrossCells(t *testing.T) {
+	// A SEED device wandering across 4 cells with a 20 % context-loss
+	// rate must keep recovering; total handover count and loss count land
+	// near the configured rate.
+	tb := seed.New(63)
+	tb.EnableCells(4, 0.2)
+	d := tb.NewDevice(seed.ModeSEEDR)
+	d.Start()
+	if !tb.RunUntil(d.Connected, time.Minute) {
+		t.Fatal("attach failed")
+	}
+	for i := 0; i < 25; i++ {
+		tb.Handover(d, (tb.ServingCell(d)+1)%4, false)
+		if !tb.RunUntil(d.Connected, 5*time.Minute) {
+			t.Fatalf("walk step %d: never recovered", i)
+		}
+		tb.Advance(20 * time.Second)
+	}
+	ho, lost := tb.Handovers()
+	if ho != 25 {
+		t.Fatalf("handovers = %d", ho)
+	}
+	if lost == 0 || lost > 12 {
+		t.Fatalf("context losses = %d, want ≈5 at 20%%", lost)
+	}
+	if !d.Connected() {
+		t.Fatal("not connected at the end of the walk")
+	}
+}

@@ -1,0 +1,101 @@
+package seed_test
+
+// Chaos hardening: random storms of every failure kind against a SEED
+// device. Whatever the sequence, the invariants hold: no panics, and once
+// injections stop the device always recovers.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	seed "github.com/seed5g/seed"
+)
+
+func TestChaosStormAlwaysRecovers(t *testing.T) {
+	for trial := int64(0); trial < 6; trial++ {
+		trial := trial
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(trial))
+			tb := seed.New(trial + 100)
+			d := tb.NewDevice(seed.ModeSEEDR)
+			web := d.AddApp(seed.AppWeb)
+			d.Start()
+			if !tb.RunUntil(d.Connected, time.Minute) {
+				t.Fatal("initial attach failed")
+			}
+			web.Start()
+			tb.Advance(30 * time.Second)
+
+			// Storm: 12 random injections with random gaps.
+			for i := 0; i < 12; i++ {
+				switch rng.Intn(8) {
+				case 0:
+					tb.DesyncIdentity(d)
+					tb.SimulateMobility(d)
+				case 1:
+					tb.InjectControlFailure(d, 22, seed.InjectOpts{
+						Count: 1 + rng.Intn(3), HealAfter: time.Duration(1+rng.Intn(20)) * time.Second,
+					})
+					tb.SimulateMobility(d)
+				case 2:
+					tb.InjectDataFailure(d, 27, seed.InjectOpts{
+						Count: 1 + rng.Intn(3), HealAfter: time.Duration(1+rng.Intn(20)) * time.Second,
+					})
+					tb.ReleaseSessions(d)
+				case 3:
+					tb.BlockTCP(d)
+				case 4:
+					tb.BlockUDP(d)
+				case 5:
+					tb.SetDNSOutage(true)
+				case 6:
+					tb.StallGateway(d)
+				case 7:
+					d.Reboot()
+				}
+				tb.Advance(time.Duration(1+rng.Intn(45)) * time.Second)
+			}
+
+			// Stop injecting; clear the standing network-side conditions
+			// SEED cannot remove on its own behalf (operator heals).
+			tb.ClearInjections(d)
+			tb.SetDNSOutage(false)
+
+			if !tb.RunUntil(d.Connected, 30*time.Minute) {
+				t.Fatalf("trial %d: device wedged (state=%s)", trial, d.State())
+			}
+			// Traffic must flow again end to end.
+			mark := tb.Now()
+			ok := tb.RunUntil(func() bool { return web.LastSuccess() > mark }, 10*time.Minute)
+			if !ok {
+				t.Fatalf("trial %d: connected but traffic dead", trial)
+			}
+		})
+	}
+}
+
+func TestCollaborationSurvivesRadioJitter(t *testing.T) {
+	tb := seed.New(9)
+	d := tb.NewDevice(seed.ModeSEEDR)
+	tb.SetRadioJitter(d, 30*time.Millisecond)
+	d.Start()
+	if !tb.RunUntil(d.Connected, time.Minute) {
+		t.Fatal("attach failed under jitter")
+	}
+	// The multi-fragment diagnosis channel must still work: inject a
+	// config failure whose fix rides several AUTN fragments.
+	tb.MigrateSubscription(d, "a-rather-long-data-network-name-for-fragmentation", true)
+	tb.EstablishIMS(d)
+	tb.Advance(2 * time.Second)
+	tb.ReleaseInternetSessions(d)
+	if !tb.RunUntil(func() bool { return !d.Connected() }, time.Minute) {
+		t.Fatal("failure never manifested")
+	}
+	if !tb.RunUntil(d.Connected, 5*time.Minute) {
+		t.Fatal("no recovery under jitter")
+	}
+	if d.DiagnosesReceived() == 0 {
+		t.Fatal("diagnosis never arrived under jitter")
+	}
+}

@@ -1,0 +1,147 @@
+// Command seedsim runs one failure scenario on the emulated testbed and
+// narrates what happens — a quick way to watch SEED (or the legacy stack)
+// diagnose and recover a specific failure.
+//
+// Usage:
+//
+//	seedsim [-mode legacy|seed-u|seed-r] [-failure desync|stale-dnn|
+//	         tcp-block|udp-block|dns-outage|gateway-stall|expired-plan|
+//	         congestion] [-app web|video|live|nav|ar] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	seed "github.com/seed5g/seed"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "seed-r", "device stack: legacy, seed-u, seed-r")
+	failure := flag.String("failure", "desync", "failure to inject: desync, stale-dnn, tcp-block, udp-block, dns-outage, gateway-stall, expired-plan, congestion")
+	appFlag := flag.String("app", "web", "app traffic: web, video, live, nav, ar")
+	seedVal := flag.Int64("seed", 1, "simulation seed")
+	traceNAS := flag.Bool("trace", false, "print every NAS message the device sends/receives")
+	flag.Parse()
+
+	mode, ok := map[string]seed.Mode{
+		"legacy": seed.ModeLegacy, "seed-u": seed.ModeSEEDU, "seed-r": seed.ModeSEEDR,
+	}[*modeFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+	appKind, ok := map[string]seed.AppKind{
+		"web": seed.AppWeb, "video": seed.AppVideo, "live": seed.AppLiveStream,
+		"nav": seed.AppNavigation, "ar": seed.AppEdgeAR,
+	}[*appFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appFlag)
+		os.Exit(2)
+	}
+
+	tb := seed.New(*seedVal)
+	d := tb.NewDevice(mode, seed.WithAndroidRecommendedTimers())
+	app := d.AddApp(appKind)
+
+	log := func(format string, args ...any) {
+		fmt.Printf("[%10s] %s\n", tb.Now().Round(time.Millisecond), fmt.Sprintf(format, args...))
+	}
+	d.OnConnectivity(func(up bool) { log("data connectivity: %v", up) })
+	d.OnReject(func(cp bool, code uint8) {
+		plane := "5GSM"
+		if cp {
+			plane = "5GMM"
+		}
+		log("reject received: %s cause #%d", plane, code)
+	})
+	d.OnUserNotice(func(text string) { log("USER NOTICE: %s", text) })
+	if *traceNAS {
+		d.OnSignaling(func(sent bool, name string) {
+			dir := "<-"
+			if sent {
+				dir = "->"
+			}
+			log("NAS %s %s", dir, name)
+		})
+	}
+
+	log("powering on %s device (%s traffic)", mode, appKind)
+	d.Start()
+	if !tb.RunUntil(d.Connected, time.Minute) {
+		log("device failed to attach")
+		os.Exit(1)
+	}
+	log("attached and connected, state=%s", d.State())
+	app.Start()
+	tb.Advance(30 * time.Second)
+	sent, okReq, failed, _ := app.Requests()
+	log("steady state: %d requests, %d ok, %d failed", sent, okReq, failed)
+
+	log("injecting failure: %s", *failure)
+	onset := tb.Now()
+	switch *failure {
+	case "desync":
+		tb.DesyncIdentity(d)
+		tb.SimulateMobility(d)
+	case "stale-dnn":
+		tb.EstablishIMS(d)
+		tb.Advance(2 * time.Second)
+		tb.MigrateSubscription(d, "internet2", true)
+		tb.ReleaseInternetSessions(d)
+	case "tcp-block":
+		tb.BlockTCP(d)
+	case "udp-block":
+		tb.BlockUDP(d)
+	case "dns-outage":
+		tb.SetDNSOutage(true)
+	case "gateway-stall":
+		tb.StallGateway(d)
+	case "expired-plan":
+		tb.ExpirePlan(d)
+		tb.ReleaseSessions(d)
+	case "congestion":
+		tb.SetCongestion(true, 30*time.Second)
+		tb.InjectControlFailure(d, 22, seed.InjectOpts{Count: 3})
+		tb.SimulateMobility(d)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown failure %q\n", *failure)
+		os.Exit(2)
+	}
+
+	// Wait for the failure to actually bite: connectivity drops, or the
+	// app stops getting responses for several of its request intervals.
+	interval := 5 * time.Second
+	impact := func() bool {
+		if !d.Connected() {
+			return true
+		}
+		return app.LastSuccess() >= 0 && tb.Now()-app.LastSuccess() > 3*interval
+	}
+	if !tb.RunUntil(impact, 10*time.Minute) {
+		log("failure produced no app-visible impact within 10 minutes")
+		return
+	}
+	impactAt := tb.Now()
+	log("impact visible (%.1fs after injection)", (impactAt - onset).Seconds())
+
+	// Watch for up to 20 virtual minutes of recovery.
+	recovered := tb.RunUntil(func() bool {
+		return d.Connected() && app.LastSuccess() > impactAt
+	}, 20*time.Minute)
+
+	sent2, ok2, failed2, reported := app.Requests()
+	log("after failure: +%d requests, +%d ok, +%d failed, %d SEED reports",
+		sent2-sent, ok2-okReq, failed2-failed, reported)
+	if recovered {
+		log("RECOVERED: app traffic flowing again %.1fs after onset",
+			(app.LastSuccess() - onset).Seconds())
+	} else {
+		log("NOT RECOVERED within 20 minutes (state=%s)", d.State())
+	}
+	if n := d.DiagnosesReceived(); n > 0 {
+		log("SEED diagnoses received by SIM: %d; actions: %v", n, d.ActionCounts())
+	}
+}

@@ -1,0 +1,36 @@
+// Command tracegen synthesizes the §3.1 failure corpus (24 k management
+// procedures, 2832 failure cases with the Table 1 cause mix, plus data-
+// delivery failure cases) and emits it as JSON on stdout, with the Table 1
+// summary on stderr.
+//
+// Usage:
+//
+//	tracegen [-seed S] [-procedures N] [-failures N] [-delivery N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	seed "github.com/seed5g/seed"
+)
+
+func main() {
+	seedVal := flag.Int64("seed", 1, "generator seed")
+	procedures := flag.Int("procedures", 24000, "total management procedures")
+	failures := flag.Int("failures", 2832, "management failure cases")
+	delivery := flag.Int("delivery", 300, "data-delivery failure cases")
+	flag.Parse()
+
+	ds := seed.GenerateDatasetSized(*seedVal, *procedures, *failures, *delivery)
+	fmt.Fprint(os.Stderr, ds.RenderTable1())
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ds); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,137 @@
+package seed
+
+import (
+	"encoding/json"
+	"time"
+
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/trace"
+)
+
+// FailureScenario classifies what is actually wrong in a failure case —
+// and therefore what can fix it.
+type FailureScenario int
+
+const (
+	// ScenarioTransient failures self-heal network-side after Heal.
+	ScenarioTransient FailureScenario = iota + 1
+	// ScenarioDesync failures are infrastructure/device state mismatches.
+	ScenarioDesync
+	// ScenarioStaleConfigDevice failures are outdated configuration in
+	// the modem cache while the SIM copy is already correct.
+	ScenarioStaleConfigDevice
+	// ScenarioStaleConfigEverywhere failures have the outdated value on
+	// modem and SIM alike.
+	ScenarioStaleConfigEverywhere
+	// ScenarioUserAction failures need the user (expired plan etc.).
+	ScenarioUserAction
+	// ScenarioSilent failures are network timeouts (no reject at all).
+	ScenarioSilent
+)
+
+func (s FailureScenario) String() string { return trace.Scenario(s).String() }
+
+// FailureCase is one management-failure case from the dataset.
+type FailureCase struct {
+	ID           int             `json:"id"`
+	Carrier      string          `json:"carrier"`
+	Device       string          `json:"device"`
+	ControlPlane bool            `json:"control_plane"`
+	CauseCode    uint8           `json:"cause_code"`
+	CauseName    string          `json:"cause_name"`
+	Scenario     FailureScenario `json:"scenario"`
+	Heal         time.Duration   `json:"heal_ns"`
+}
+
+// DeliveryFailureKind classifies data-delivery failures.
+type DeliveryFailureKind int
+
+const (
+	DeliveryTCPBlock DeliveryFailureKind = iota + 1
+	DeliveryUDPBlock
+	DeliveryDNSOutage
+	DeliveryStalledGateway
+)
+
+func (k DeliveryFailureKind) String() string { return trace.DeliveryKind(k).String() }
+
+// DeliveryCase is one data-delivery failure case.
+type DeliveryCase struct {
+	ID   int                 `json:"id"`
+	Kind DeliveryFailureKind `json:"kind"`
+}
+
+// Dataset is a synthesized failure corpus mirroring the §3.1 statistics.
+type Dataset struct {
+	inner *trace.Dataset
+}
+
+// GenerateDataset synthesizes the default corpus (24 k procedures, 2832
+// management failures, 300 delivery failures) from the given seed.
+func GenerateDataset(seedVal int64) *Dataset {
+	cfg := trace.DefaultGenConfig()
+	cfg.Seed = seedVal
+	return &Dataset{inner: trace.Generate(cfg)}
+}
+
+// GenerateDatasetSized synthesizes a corpus with custom counts.
+func GenerateDatasetSized(seedVal int64, procedures, failures, delivery int) *Dataset {
+	return &Dataset{inner: trace.Generate(trace.GenConfig{
+		Seed: seedVal, Procedures: procedures, Failures: failures, Delivery: delivery,
+	})}
+}
+
+// Procedures returns the total management procedures in the corpus.
+func (d *Dataset) Procedures() int { return d.inner.Procedures }
+
+// Failures returns the management failure cases.
+func (d *Dataset) Failures() []FailureCase {
+	out := make([]FailureCase, len(d.inner.Failures))
+	for i, r := range d.inner.Failures {
+		out[i] = failureCaseFrom(r)
+	}
+	return out
+}
+
+// Delivery returns the data-delivery failure cases.
+func (d *Dataset) Delivery() []DeliveryCase {
+	out := make([]DeliveryCase, len(d.inner.Delivery))
+	for i, r := range d.inner.Delivery {
+		out[i] = DeliveryCase{ID: r.ID, Kind: DeliveryFailureKind(r.Kind)}
+	}
+	return out
+}
+
+// FailureRatio returns failures per procedure (the >10 % headline).
+func (d *Dataset) FailureRatio() float64 { return d.inner.FailureRatio() }
+
+// RenderTable1 formats the corpus breakdown as the paper's Table 1.
+func (d *Dataset) RenderTable1() string {
+	return trace.Analyze(d.inner, 5).RenderTable1()
+}
+
+// MarshalJSON emits the corpus as JSON (cmd/tracegen's output format).
+func (d *Dataset) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Procedures int            `json:"procedures"`
+		Failures   []FailureCase  `json:"failures"`
+		Delivery   []DeliveryCase `json:"delivery"`
+	}{d.Procedures(), d.Failures(), d.Delivery()})
+}
+
+func failureCaseFrom(r trace.Record) FailureCase {
+	name := "(timeout, no cause)"
+	if info, ok := cause.Lookup(r.Cause); ok {
+		name = info.Name
+	}
+	return FailureCase{
+		ID:           r.ID,
+		Carrier:      r.Carrier,
+		Device:       r.Device,
+		ControlPlane: r.Cause.Plane == cause.ControlPlane,
+		CauseCode:    uint8(r.Cause.Code),
+		CauseName:    name,
+		Scenario:     FailureScenario(r.Scenario),
+		Heal:         r.Heal,
+	}
+}

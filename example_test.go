@@ -1,0 +1,60 @@
+package seed_test
+
+import (
+	"fmt"
+	"time"
+
+	seed "github.com/seed5g/seed"
+)
+
+// The canonical flow: build a testbed, attach a SEED device, inject the
+// paper's headline failure, and watch it recover in seconds.
+func Example() {
+	tb := seed.New(42)
+	dev := tb.NewDevice(seed.ModeSEEDR)
+	dev.Start()
+	tb.RunUntil(dev.Connected, time.Minute)
+
+	tb.DesyncIdentity(dev)   // the network loses the UE context
+	tb.SimulateMobility(dev) // the device re-registers with a stale GUTI
+	onset := tb.Now()
+	tb.RunUntil(func() bool { return tb.Now() > onset && dev.Connected() }, time.Minute)
+
+	fmt.Printf("recovered in %.1fs\n", (tb.Now() - onset).Seconds())
+	// Output: recovered in 3.3s
+}
+
+// Generating the §3.1 corpus and reading its headline statistic.
+func ExampleGenerateDataset() {
+	ds := seed.GenerateDataset(1)
+	fmt.Printf("%d failures across %d procedures (%.1f%%)\n",
+		len(ds.Failures()), ds.Procedures(), 100*ds.FailureRatio())
+	// Output: 2832 failures across 24000 procedures (11.8%)
+}
+
+// Replaying one dataset case under two schemes.
+func ExampleReplayManagement() {
+	ds := seed.GenerateDataset(1)
+	var fc seed.FailureCase
+	for _, c := range ds.Failures() {
+		if c.Scenario == seed.ScenarioDesync && c.ControlPlane {
+			fc = c
+			break
+		}
+	}
+	legacy := seed.ReplayManagement(fc, seed.ModeLegacy, 7)
+	seedR := seed.ReplayManagement(fc, seed.ModeSEEDR, 7)
+	fmt.Printf("legacy recovers: %v (minutes); SEED-R: %v in %.1fs\n",
+		legacy.Recovered, seedR.Recovered, seedR.Disruption.Seconds())
+	// Output: legacy recovers: true (minutes); SEED-R: true in 3.3s
+}
+
+// The modes compared on a delivery failure (UDP blocking — invisible to
+// Android, caught by SEED's app report API).
+func ExampleReplayDelivery() {
+	dc := seed.DeliveryCase{Kind: seed.DeliveryUDPBlock}
+	legacy := seed.ReplayDelivery(dc, seed.ModeLegacy, 7)
+	seedR := seed.ReplayDelivery(dc, seed.ModeSEEDR, 7)
+	fmt.Printf("legacy detected: %v; SEED-R recovered: %v\n", legacy.Detected, seedR.Recovered)
+	// Output: legacy detected: false; SEED-R recovered: true
+}

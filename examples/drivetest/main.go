@@ -1,0 +1,61 @@
+// Drive test: the §2 small-cell story. A device drives across a four-cell
+// deployment, handing over every half minute; one in five handovers loses
+// the core-side context transfer — the mechanistic origin of Table 1's
+// top failure ("UE identity cannot be derived by the network"). The same
+// drive is run with the legacy stack and with SEED-R, comparing total
+// outage time.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	seed "github.com/seed5g/seed"
+)
+
+func main() {
+	fmt.Println("== Drive test: 25 handovers across 4 cells, 20% context-loss rate ==")
+	fmt.Println()
+
+	for _, mode := range []seed.Mode{seed.ModeLegacy, seed.ModeSEEDR} {
+		tb := seed.New(99)
+		tb.EnableCells(4, 0.2)
+		dev := tb.NewDevice(mode)
+
+		var outage time.Duration
+		var downAt time.Duration
+		down := false
+		dev.OnConnectivity(func(up bool) {
+			if up && down {
+				outage += tb.Now() - downAt
+				down = false
+			} else if !up && !down {
+				down = true
+				downAt = tb.Now()
+			}
+		})
+
+		dev.Start()
+		if !tb.RunUntil(dev.Connected, time.Minute) {
+			panic("attach failed")
+		}
+
+		for i := 0; i < 25; i++ {
+			tb.Handover(dev, (tb.ServingCell(dev)+1)%4, false)
+			tb.Advance(30 * time.Second)
+		}
+		// Let any last recovery finish.
+		tb.RunUntil(dev.Connected, 30*time.Minute)
+		if down {
+			outage += tb.Now() - downAt
+		}
+
+		handovers, lost := tb.Handovers()
+		fmt.Printf("%-8s %d handovers, %d context losses, total outage %7.1f s\n",
+			mode, handovers, lost, outage.Seconds())
+	}
+
+	fmt.Println()
+	fmt.Println("Every lost context costs the legacy stack a stale-GUTI retry loop;")
+	fmt.Println("SEED's cause-9 diagnosis resets the identity in a few seconds.")
+}

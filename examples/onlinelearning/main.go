@@ -1,0 +1,31 @@
+// Online learning: the §5.3 collaborative algorithm end to end. An
+// operator-customized failure (a cause code outside the 3GPP standardized
+// set) hits a first device, whose SIM tries the multi-tier resets
+// sequentially and records what worked; the record is crowd-sourced to
+// the infrastructure over OTA; a second device hitting the same failure
+// then receives the learned suggestion and recovers directly.
+package main
+
+import (
+	"fmt"
+
+	seed "github.com/seed5g/seed"
+)
+
+func main() {
+	fmt.Println("== Collaborative online learning for an unknown failure cause ==")
+
+	res := seed.ExperimentLearning(6, 4, 25, 99)
+	fmt.Print(res.Render())
+	fmt.Println()
+
+	fmt.Println("Interpretation:")
+	fmt.Printf("  - %d operator-customized causes (half control-plane functions,\n", res.Causes)
+	fmt.Println("    half data-plane functions) were injected repeatedly across 6 devices.")
+	fmt.Println("  - Early devices received no suggestion and ran Algorithm 1's trial")
+	fmt.Println("    sequence (B3 -> A3 -> B2 -> A2 -> B1 -> A1), recording the reset")
+	fmt.Println("    that actually fixed each cause.")
+	fmt.Printf("  - After crowdsourcing, %d suggestions were delivered to later devices.\n", res.SuggestionsSent)
+	fmt.Printf("  - The learned model classified %d/%d causes to the correct plane's\n", res.CorrectPlane, res.Causes)
+	fmt.Println("    reset action, matching the paper's §7.2.4 result.")
+}

@@ -1,0 +1,55 @@
+// Quickstart: bring up an emulated 5G testbed, attach a SEED-enabled
+// device, inject the paper's headline failure (identity desync after
+// mobility), and watch SEED diagnose and recover it in seconds — then do
+// the same with a legacy device and compare.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	seed "github.com/seed5g/seed"
+)
+
+func main() {
+	fmt.Println("== SEED quickstart: identity-desync failure, SEED-R vs legacy ==")
+	fmt.Println()
+
+	for _, mode := range []seed.Mode{seed.ModeSEEDR, seed.ModeLegacy} {
+		tb := seed.New(42)
+		dev := tb.NewDevice(mode)
+
+		dev.OnReject(func(controlPlane bool, code uint8) {
+			fmt.Printf("  [%8s] %s: reject cause #%d\n", tb.Now().Round(time.Millisecond), mode, code)
+		})
+
+		dev.Start()
+		if !tb.RunUntil(dev.Connected, time.Minute) {
+			panic("device failed to attach")
+		}
+		fmt.Printf("  [%8s] %s: attached, data session up\n", tb.Now().Round(time.Millisecond), mode)
+
+		// The network loses the UE context (tracking-area migration); the
+		// device re-registers with its now-stale temporary identity.
+		tb.DesyncIdentity(dev)
+		tb.SimulateMobility(dev)
+		onset := tb.Now()
+
+		recovered := tb.RunUntil(func() bool {
+			return tb.Now() > onset && dev.Connected()
+		}, 30*time.Minute)
+
+		if recovered {
+			fmt.Printf("  [%8s] %s: RECOVERED after %.1f s",
+				tb.Now().Round(time.Millisecond), mode, (tb.Now() - onset).Seconds())
+			if n := dev.DiagnosesReceived(); n > 0 {
+				fmt.Printf("  (SEED diagnoses: %d, actions: %v)", n, dev.ActionCounts())
+			}
+			fmt.Println()
+		} else {
+			fmt.Printf("  %s: not recovered within 30 minutes\n", mode)
+		}
+		fmt.Println()
+	}
+	fmt.Println("SEED turns a many-minute legacy outage into a few seconds.")
+}

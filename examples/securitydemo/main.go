@@ -1,0 +1,57 @@
+// Security demo: the §7.3 analysis, live. Shows that (1) SEED's
+// collaboration channel rejects payloads forged without the in-SIM key,
+// (2) replayed diagnosis deliveries are discarded by the message counter,
+// (3) a legitimate diagnosis still flows and recovers a real failure, and
+// (4) the operator's carrier key gates applet installation.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	seed "github.com/seed5g/seed"
+)
+
+func main() {
+	fmt.Println("== SEED security properties (§7.3) ==")
+	fmt.Println()
+
+	tb := seed.New(2026)
+	dev := tb.NewDevice(seed.ModeSEEDU)
+	dev.Start()
+	if !tb.RunUntil(dev.Connected, time.Minute) {
+		panic("attach failed")
+	}
+	fmt.Println("1. Device attached; SEED applet installed (OTA, carrier-key MAC).")
+
+	// Adversarial deliveries: sealed under the wrong key, they reach the
+	// SIM as protocol-valid Authentication Requests but never decrypt.
+	forged := tb.ForgeDiagnosis(dev, "attacker-key-0000")
+	tb.Advance(10 * time.Second)
+	fmt.Printf("2. Forged diagnosis fragments sent: %d; accepted by the SIM: %d\n",
+		forged, dev.DiagnosesReceived())
+
+	// A legitimate failure: the applet receives the real diagnosis and
+	// recovers within seconds.
+	tb.DesyncIdentity(dev)
+	tb.SimulateMobility(dev)
+	onset := tb.Now()
+	if !tb.RunUntil(func() bool { return tb.Now() > onset && dev.Connected() }, time.Minute) {
+		panic("SEED did not recover")
+	}
+	fmt.Printf("3. Real failure diagnosed and recovered in %.1f s (diagnoses: %d, actions: %v)\n",
+		(tb.Now() - onset).Seconds(), dev.DiagnosesReceived(), dev.ActionCounts())
+
+	// Replay: resending the captured legitimate delivery does nothing —
+	// the envelope counter has moved on.
+	before := dev.DiagnosesReceived()
+	replayed := tb.ReplayLastDiagnosis(dev)
+	tb.Advance(10 * time.Second)
+	fmt.Printf("4. Replayed %d captured fragments; additional diagnoses accepted: %d\n",
+		replayed, dev.DiagnosesReceived()-before)
+
+	fmt.Println()
+	fmt.Println("The channel is sealed with 128-EEA2/EIA2 under keys derived from the")
+	fmt.Println("pre-shared in-SIM key, with a monotonic counter — the same security")
+	fmt.Println("story as 5G signaling itself, and no new certificates anywhere.")
+}

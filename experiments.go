@@ -1,0 +1,978 @@
+package seed
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/core"
+	"github.com/seed5g/seed/internal/metrics"
+)
+
+// benignDiag is a congestion notice with zero wait: it exercises the full
+// collaboration channel without triggering any reset.
+func benignDiag() core.DiagMessage {
+	return core.DiagMessage{Kind: core.DiagCongestion, Plane: cause.ControlPlane, Code: 22}
+}
+
+// This file hosts the experiment runners that regenerate every table and
+// figure of the paper's evaluation (§7). Each returns plain result structs
+// plus a Render method producing the text form cmd/seedbench prints.
+// EXPERIMENTS.md records paper-vs-measured for each.
+
+// Modes lists the three evaluated schemes in table order.
+var Modes = []Mode{ModeLegacy, ModeSEEDU, ModeSEEDR}
+
+// ---------------------------------------------------------------------------
+// Table 4 — disruption percentiles per failure class and scheme
+// ---------------------------------------------------------------------------
+
+// DisruptionRow is one cell group of Table 4.
+type DisruptionRow struct {
+	Class   string // "Control Plane", "Data Plane", "Data Delivery"
+	Mode    Mode
+	Median  time.Duration
+	P90     time.Duration
+	Samples int
+	Unrecov int // cases not recovered inside the replay window
+}
+
+// Table4Result holds the full table.
+type Table4Result struct {
+	Rows []DisruptionRow
+}
+
+// sampleCases picks up to n management cases of one plane, preserving the
+// dataset's scenario mix (it simply takes the first n in corpus order,
+// which is already randomized).
+func sampleCases(ds *Dataset, control bool, n int) []FailureCase {
+	var out []FailureCase
+	for _, fc := range ds.Failures() {
+		if fc.ControlPlane != control {
+			continue
+		}
+		out = append(out, fc)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+func disruptionRow(class string, mode Mode, series *metrics.Series, unrecov int) DisruptionRow {
+	return DisruptionRow{
+		Class: class, Mode: mode,
+		Median:  series.Median(),
+		P90:     series.Percentile(90),
+		Samples: series.Len(),
+		Unrecov: unrecov,
+	}
+}
+
+// ExperimentTable4 replays sampled management failures and delivery
+// failures under all three schemes and reports the disruption percentiles
+// of Table 4. samplesPerClass bounds replay count per (class, mode).
+func ExperimentTable4(ds *Dataset, samplesPerClass int, seedVal int64) Table4Result {
+	var res Table4Result
+	for _, control := range []bool{true, false} {
+		class := "Data Plane"
+		if control {
+			class = "Control Plane"
+		}
+		cases := sampleCases(ds, control, samplesPerClass)
+		for _, mode := range Modes {
+			series := metrics.NewSeries(class + "/" + mode.String())
+			unrecov := 0
+			for i, fc := range cases {
+				if fc.Scenario == ScenarioUserAction {
+					continue // excluded: no scheme can recover them
+				}
+				r := ReplayManagement(fc, mode, seedVal+int64(i))
+				if r.Recovered {
+					series.Add(r.Disruption)
+				} else {
+					unrecov++
+				}
+			}
+			res.Rows = append(res.Rows, disruptionRow(class, mode, series, unrecov))
+		}
+	}
+	// Data delivery: the reconnection-fixable class for the legacy
+	// baseline (the only one it can recover), all kinds for SEED.
+	delivery := ds.Delivery()
+	if len(delivery) > samplesPerClass {
+		delivery = delivery[:samplesPerClass]
+	}
+	for _, mode := range Modes {
+		series := metrics.NewSeries("Data Delivery/" + mode.String())
+		unrecov := 0
+		for i, dc := range delivery {
+			if mode == ModeLegacy && dc.Kind != DeliveryStalledGateway {
+				continue // legacy cannot fix network-side blocks/DNS
+			}
+			r := ReplayDelivery(dc, mode, seedVal+int64(i))
+			if r.Recovered {
+				series.Add(r.HandlingTime)
+			} else {
+				unrecov++
+			}
+		}
+		res.Rows = append(res.Rows, disruptionRow("Data Delivery", mode, series, unrecov))
+	}
+	return res
+}
+
+// Render formats the table.
+func (t Table4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 4: disruption (s) percentiles with legacy handling and SEED\n")
+	fmt.Fprintf(&b, "%-14s %-8s %10s %10s %6s %6s\n", "Failures", "Handling", "Median", "90th", "n", "unrec")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-14s %-8s %10.1f %10.1f %6d %6d\n",
+			r.Class, r.Mode, r.Median.Seconds(), r.P90.Seconds(), r.Samples, r.Unrecov)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 — disruption CDF with legacy modem handling
+// ---------------------------------------------------------------------------
+
+// CDFPoint is one point of an empirical CDF in seconds.
+type CDFPoint struct {
+	Seconds  float64
+	Fraction float64
+}
+
+// Figure2Result holds the legacy-handling disruption CDFs.
+type Figure2Result struct {
+	Control []CDFPoint
+	Data    []CDFPoint
+	// ControlUnrecovered / DataUnrecovered are the fractions of cases
+	// that never recovered inside the replay window (the CDF's gap to 1).
+	ControlUnrecovered float64
+	DataUnrecovered    float64
+}
+
+// ExperimentFigure2 replays sampled management failures with legacy
+// handling only and returns the disruption CDFs of Figure 2.
+func ExperimentFigure2(ds *Dataset, samplesPerPlane int, seedVal int64) Figure2Result {
+	var res Figure2Result
+	for _, control := range []bool{true, false} {
+		series := metrics.NewSeries("fig2")
+		cases := sampleCases(ds, control, samplesPerPlane)
+		unrecov, total := 0, 0
+		for i, fc := range cases {
+			if fc.Scenario == ScenarioUserAction {
+				continue
+			}
+			total++
+			r := ReplayManagement(fc, ModeLegacy, seedVal+int64(i))
+			if r.Recovered {
+				series.Add(r.Disruption)
+			} else {
+				unrecov++
+			}
+		}
+		var pts []CDFPoint
+		scale := float64(series.Len()) / float64(total)
+		for _, p := range series.CDF() {
+			pts = append(pts, CDFPoint{Seconds: p.X.Seconds(), Fraction: p.F * scale})
+		}
+		if control {
+			res.Control = pts
+			res.ControlUnrecovered = float64(unrecov) / float64(total)
+		} else {
+			res.Data = pts
+			res.DataUnrecovered = float64(unrecov) / float64(total)
+		}
+	}
+	return res
+}
+
+// fractionAt returns the CDF value at x seconds.
+func fractionAt(pts []CDFPoint, x float64) float64 {
+	f := 0.0
+	for _, p := range pts {
+		if p.Seconds <= x {
+			f = p.Fraction
+		}
+	}
+	return f
+}
+
+// Render formats selected CDF milestones the paper quotes.
+func (f Figure2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: disruption CDF with legacy modem handling\n")
+	line := func(name string, pts []CDFPoint, unrec float64) {
+		fmt.Fprintf(&b, "  %-13s F(2s)=%.2f F(10s)=%.2f F(60s)=%.2f F(600s)=%.2f unrecovered=%.2f\n",
+			name, fractionAt(pts, 2), fractionAt(pts, 10), fractionAt(pts, 60),
+			fractionAt(pts, 600), unrec)
+	}
+	line("control-plane", f.Control, f.ControlUnrecovered)
+	line("data-plane", f.Data, f.DataUnrecovered)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 — Android failure detection latency
+// ---------------------------------------------------------------------------
+
+// LatencyStats summarizes a latency distribution for box-plot style output.
+type LatencyStats struct {
+	Label      string
+	N          int
+	Undetected int
+	Min        time.Duration
+	Median     time.Duration
+	Mean       time.Duration
+	P90        time.Duration
+	Max        time.Duration
+}
+
+func statsFromSeries(label string, s *metrics.Series, undetected int) LatencyStats {
+	return LatencyStats{
+		Label: label, N: s.Len(), Undetected: undetected,
+		Min: s.Percentile(1), Median: s.Median(), Mean: s.Mean(),
+		P90: s.Percentile(90), Max: s.Max(),
+	}
+}
+
+// Figure3Result holds detection latency per blocked protocol.
+type Figure3Result struct {
+	TCP LatencyStats
+	UDP LatencyStats
+	DNS LatencyStats
+}
+
+// ExperimentFigure3 measures stock Android's data-stall detection latency
+// for TCP, UDP and DNS blocking at the core (§3.3's experiment). UDP
+// blocking here covers all UDP including DNS — the only way Android ever
+// notices it.
+func ExperimentFigure3(samples int, seedVal int64) Figure3Result {
+	run := func(kind DeliveryFailureKind, blockDNSToo bool) LatencyStats {
+		series := metrics.NewSeries(kind.String())
+		undetected := 0
+		for i := 0; i < samples; i++ {
+			tb := New(seedVal + int64(i)*31)
+			d := tb.NewDevice(ModeLegacy)
+			video := d.AddApp(AppVideo)
+			web := d.AddApp(AppWeb)
+			d.Start()
+			if !tb.RunUntil(d.Connected, connectDeadline) {
+				undetected++
+				continue
+			}
+			video.Start()
+			web.Start()
+			// Stagger onset within the monitor's polling period so the
+			// latency distribution reflects the phase uniformly.
+			tb.Advance(2*time.Minute + (time.Duration(i)*7919*time.Millisecond)%time.Minute)
+			onset := tb.Now()
+			switch kind {
+			case DeliveryTCPBlock:
+				tb.BlockTCP(d)
+			case DeliveryUDPBlock:
+				tb.BlockUDP(d)
+				if blockDNSToo {
+					tb.SetDNSOutage(true)
+				}
+			case DeliveryDNSOutage:
+				tb.SetDNSOutage(true)
+			}
+			if tb.RunUntil(d.inner.Mon.Stalled, 25*time.Minute) {
+				series.Add(tb.Now() - onset)
+			} else {
+				undetected++
+			}
+		}
+		return statsFromSeries(kind.String(), series, undetected)
+	}
+	return Figure3Result{
+		TCP: run(DeliveryTCPBlock, false),
+		UDP: run(DeliveryUDPBlock, true),
+		DNS: run(DeliveryDNSOutage, false),
+	}
+}
+
+// Render formats the detection latency summary.
+func (f Figure3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: Android failure detection latency (s)\n")
+	for _, s := range []LatencyStats{f.TCP, f.UDP, f.DNS} {
+		fmt.Fprintf(&b, "  %-12s n=%d undetected=%d min=%.0f median=%.0f mean=%.0f p90=%.0f max=%.0f\n",
+			s.Label, s.N, s.Undetected, s.Min.Seconds(), s.Median.Seconds(),
+			s.Mean.Seconds(), s.P90.Seconds(), s.Max.Seconds())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Table 5 — average app disruption per scheme
+// ---------------------------------------------------------------------------
+
+// AppDisruptionRow is one Table 5 cell.
+type AppDisruptionRow struct {
+	App    AppKind
+	Class  string // "C-plane", "D-plane", "D-Delivery"
+	Mode   Mode
+	Mean   time.Duration // user-perceived (buffer-masked) disruption
+	Outage time.Duration // raw network outage
+}
+
+// Table5Result holds the per-app disruption matrix.
+type Table5Result struct {
+	Rows []AppDisruptionRow
+}
+
+// ExperimentTable5 measures user-perceived app disruption for the five
+// §7.1.2 applications under a representative failure per class, with the
+// recommended Android timers.
+func ExperimentTable5(trials int, seedVal int64) Table5Result {
+	var res Table5Result
+	classes := []string{"C-plane", "D-plane", "D-Delivery"}
+	for _, app := range AppKinds {
+		for _, class := range classes {
+			for _, mode := range Modes {
+				outage := metrics.NewSeries("outage")
+				for i := 0; i < trials; i++ {
+					o := runAppDisruptionTrial(app, class, mode, seedVal+int64(i)*101)
+					if o >= 0 {
+						outage.Add(o)
+					}
+				}
+				perceived := outage.Mean() - app.Buffer()
+				if perceived < 0 {
+					perceived = 0
+				}
+				res.Rows = append(res.Rows, AppDisruptionRow{
+					App: app, Class: class, Mode: mode,
+					Mean: perceived, Outage: outage.Mean(),
+				})
+			}
+		}
+	}
+	return res
+}
+
+// runAppDisruptionTrial runs one (app, failure class, mode) trial and
+// returns the raw network outage (-1 when it never recovered).
+func runAppDisruptionTrial(app AppKind, class string, mode Mode, seedVal int64) time.Duration {
+	tb := New(seedVal)
+	d := tb.NewDevice(mode, WithAndroidRecommendedTimers())
+	a := d.AddApp(app)
+	d.Start()
+	if !tb.RunUntil(d.Connected, connectDeadline) {
+		return -1
+	}
+	a.Start()
+	tb.Advance(90 * time.Second)
+
+	var fixedCond func() bool
+	switch class {
+	case "C-plane":
+		// The Table 1 headline: identity desync after mobility. Legacy
+		// loops on cause 9 until the long backoff; SEED reloads/reset.
+		tb.DesyncIdentity(d)
+		tb.SimulateMobility(d)
+		fixedCond = d.Connected
+	case "D-plane":
+		// Outdated APN with a correct SIM copy (stale modem cache). The
+		// IMS PDN keeps the registration alive through the failure, as on
+		// real handsets.
+		tb.EstablishIMS(d)
+		tb.Advance(2 * time.Second)
+		tb.MigrateSubscription(d, "internet2", true)
+		d.inner.Mdm.OverrideSessionDNN("internet")
+		tb.ReleaseInternetSessions(d)
+		fixedCond = d.Connected
+	case "D-Delivery":
+		tb.StallGateway(d)
+		fixedCond = func() bool {
+			return !tb.net.UPF.Stalled(d.IMSI()) && d.Connected()
+		}
+	}
+	// Wait for the failure to actually manifest (the injections above are
+	// asynchronous), then measure the outage until recovery.
+	if !tb.RunUntil(func() bool { return !fixedCond() }, time.Minute) {
+		return -1
+	}
+	onset := tb.Now()
+	if !tb.RunUntil(func() bool { return tb.Now() > onset && fixedCond() }, 45*time.Minute) {
+		return -1
+	}
+	return tb.Now() - onset
+}
+
+// Render formats Table 5.
+func (t Table5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 5: average app disruption (s), buffer-masked\n")
+	fmt.Fprintf(&b, "%-12s", "Apps")
+	for _, class := range []string{"C-plane", "D-plane", "D-Delivery"} {
+		for _, m := range Modes {
+			fmt.Fprintf(&b, " %9s", class[:4]+"/"+m.String()[:4])
+		}
+	}
+	b.WriteString("\n")
+	for _, app := range AppKinds {
+		fmt.Fprintf(&b, "%-12s", app.String())
+		for _, class := range []string{"C-plane", "D-plane", "D-Delivery"} {
+			for _, m := range Modes {
+				for _, r := range t.Rows {
+					if r.App == app && r.Class == class && r.Mode == m {
+						fmt.Fprintf(&b, " %9.1f", r.Mean.Seconds())
+					}
+				}
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11a — network-side CPU overhead
+// ---------------------------------------------------------------------------
+
+// CPUPoint is one Figure 11a sample.
+type CPUPoint struct {
+	FailuresPerSec float64
+	BaselinePct    float64
+	WithSEEDPct    float64
+	// ExtraSignaling is the measured extra NAS messages per failure that
+	// SEED's collaboration adds (from a real mini-simulation).
+	ExtraSignaling float64
+}
+
+// Figure11aResult holds the CPU utilization curve.
+type Figure11aResult struct {
+	Points []CPUPoint
+	UEs    int
+}
+
+// ExperimentFigure11a emulates 200 devices cycling attach/detach, injects
+// failures at increasing rates, measures SEED's extra signaling from a
+// real simulation, and reports CPU utilization from the calibrated load
+// model (the physical-CPU substitution documented in DESIGN.md).
+func ExperimentFigure11a(seedVal int64) Figure11aResult {
+	model := metrics.DefaultCPUModel()
+	const ues = 200
+	extra := measureSignalingOverhead(seedVal)
+	res := Figure11aResult{UEs: ues}
+	for _, rate := range []float64{0, 20, 40, 60, 80, 100} {
+		res.Points = append(res.Points, CPUPoint{
+			FailuresPerSec: rate,
+			BaselinePct:    model.Utilization(ues, rate, false),
+			WithSEEDPct:    model.Utilization(ues, rate, true),
+			ExtraSignaling: extra,
+		})
+	}
+	return res
+}
+
+// measureSignalingOverhead runs the same failure burst against a SEED and
+// a legacy device and returns the extra core messages per failure.
+func measureSignalingOverhead(seedVal int64) float64 {
+	run := func(mode Mode) int {
+		tb := New(seedVal)
+		d := tb.NewDevice(mode)
+		d.Start()
+		tb.RunUntil(d.Connected, connectDeadline)
+		base := tb.CoreSignalingLoad()
+		const failures = 20
+		for i := 0; i < failures; i++ {
+			tb.InjectControlFailure(d, 22, InjectOpts{Count: 1})
+			tb.SimulateMobility(d)
+			tb.Advance(30 * time.Second)
+		}
+		return (tb.CoreSignalingLoad() - base) / failures
+	}
+	return float64(run(ModeSEEDU) - run(ModeLegacy))
+}
+
+// Render formats the curve.
+func (f Figure11aResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11a: core CPU utilization, %d emulated UEs\n", f.UEs)
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "  %5.0f failures/s: core %5.1f%%  core+SEED %5.1f%%  (+%.1f%%)\n",
+			p.FailuresPerSec, p.BaselinePct, p.WithSEEDPct, p.WithSEEDPct-p.BaselinePct)
+	}
+	if len(f.Points) > 0 {
+		fmt.Fprintf(&b, "  measured extra signaling: %.0f NAS messages per failure\n",
+			f.Points[0].ExtraSignaling)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11b — device battery overhead
+// ---------------------------------------------------------------------------
+
+// BatteryPoint is one Figure 11b sample.
+type BatteryPoint struct {
+	Minutes       float64
+	DefaultPct    float64
+	SEEDPct       float64
+	MobileInsight float64
+}
+
+// Figure11bResult holds the 30-minute battery curves.
+type Figure11bResult struct {
+	Points []BatteryPoint
+	// SIMOps is the SIM operation count measured in the stress run.
+	SIMOps int
+}
+
+// ExperimentFigure11b runs the §7.2.1 stress test — one SIM diagnosis per
+// second for 30 minutes — on a real device simulation, then converts the
+// measured operation counts to battery drain with the calibrated model.
+func ExperimentFigure11b(seedVal int64) Figure11bResult {
+	tb := New(seedVal)
+	d := tb.NewDevice(ModeSEEDU)
+	d.Start()
+	tb.RunUntil(d.Connected, connectDeadline)
+	opsBase := d.SIMOperations()
+	stop := time.Duration(30) * time.Minute
+	start := tb.Now()
+	// Stress: one diagnosis delivery per second.
+	tick := 0
+	var pump func()
+	pump = func() {
+		if tb.Now()-start >= stop {
+			return
+		}
+		tick++
+		tb.plugin.SendDiagnosis(d.IMSI(), benignDiag())
+		tb.After(time.Second, pump)
+	}
+	pump()
+	tb.Advance(stop + time.Second)
+	ops := d.SIMOperations() - opsBase
+
+	model := metrics.DefaultBatteryModel()
+	var res Figure11bResult
+	res.SIMOps = ops
+	for m := 0.0; m <= 30; m += 5 {
+		elapsed := time.Duration(m * float64(time.Minute))
+		frac := m / 30
+		res.Points = append(res.Points, BatteryPoint{
+			Minutes:       m,
+			DefaultPct:    model.Drain(elapsed, 0, 0),
+			SEEDPct:       model.Drain(elapsed, int(float64(ops)*frac), 0),
+			MobileInsight: model.Drain(elapsed, 0, int(100*elapsed.Seconds())),
+		})
+	}
+	return res
+}
+
+// Render formats the battery curves.
+func (f Figure11bResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11b: battery drain over 30 min (stress: 1 diagnosis/s, %d SIM ops)\n", f.SIMOps)
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "  %4.0f min: default %.2f%%  SEED %.2f%%  MobileInsight %.2f%%\n",
+			p.Minutes, p.DefaultPct, p.SEEDPct, p.MobileInsight)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 — SIM↔infrastructure collaboration latency
+// ---------------------------------------------------------------------------
+
+// CollabLatency holds prep/transmission means for one direction.
+type CollabLatency struct {
+	Direction string
+	PrepMean  time.Duration
+	TransMean time.Duration
+	N         int
+}
+
+// Figure12Result holds both directions.
+type Figure12Result struct {
+	Downlink CollabLatency
+	Uplink   CollabLatency
+}
+
+// ExperimentFigure12 measures the real-time collaboration channel's
+// preparation and transmission latency over n exchanges per direction.
+func ExperimentFigure12(n int, seedVal int64) Figure12Result {
+	tb := New(seedVal)
+	d := tb.NewDevice(ModeSEEDR)
+	d.Start()
+	tb.RunUntil(d.Connected, connectDeadline)
+
+	prepDL := metrics.NewSeries("dl-prep")
+	transDL := metrics.NewSeries("dl-trans")
+	tb.plugin.OnDiagTiming = func(prep, trans time.Duration) {
+		prepDL.Add(prep)
+		transDL.Add(trans)
+	}
+	for i := 0; i < n; i++ {
+		tb.plugin.SendDiagnosis(d.IMSI(), benignDiag())
+		tb.Advance(2 * time.Second)
+	}
+
+	prepUL := metrics.NewSeries("ul-prep")
+	transUL := metrics.NewSeries("ul-trans")
+	var t0, tSent time.Duration
+	d.inner.CApp.OnUplinkSent = func() { tSent = tb.Now() }
+	received := false
+	tb.plugin.OnReportReceived = func(string) {
+		if !received {
+			received = true
+			prepUL.Add(tSent - t0)
+			transUL.Add(tb.Now() - tSent)
+		}
+	}
+	for i := 0; i < n; i++ {
+		received = false
+		t0 = tb.Now()
+		d.inner.CApp.OnDataStall("tcp") // OS-originated report
+		tb.Advance(2 * time.Second)
+	}
+	return Figure12Result{
+		Downlink: CollabLatency{Direction: "downlink", PrepMean: prepDL.Mean(), TransMean: transDL.Mean(), N: prepDL.Len()},
+		Uplink:   CollabLatency{Direction: "uplink", PrepMean: prepUL.Mean(), TransMean: transUL.Mean(), N: prepUL.Len()},
+	}
+}
+
+// Render formats the latency bars.
+func (f Figure12Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 12: SIM-infra collaboration latency (ms)\n")
+	for _, c := range []CollabLatency{f.Downlink, f.Uplink} {
+		fmt.Fprintf(&b, "  %-9s prep %.1f  trans %.1f  total %.1f (n=%d)\n",
+			c.Direction, ms(c.PrepMean), ms(c.TransMean), ms(c.PrepMean+c.TransMean), c.N)
+	}
+	return b.String()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// ---------------------------------------------------------------------------
+// Figure 13 — multi-tier reset recovery time
+// ---------------------------------------------------------------------------
+
+// ResetTimeRow is one Figure 13 bar group.
+type ResetTimeRow struct {
+	Level  string // "Hardware", "C-Plane", "D-Plane"
+	Legacy time.Duration
+	SEEDU  time.Duration
+	SEEDR  time.Duration
+}
+
+// Figure13Result holds the reset-time comparison.
+type Figure13Result struct {
+	Rows []ResetTimeRow
+}
+
+// ExperimentFigure13 measures the recovery time of each reset tier under
+// the legacy ladder (recommended intervals) and SEED's direct actions.
+func ExperimentFigure13(seedVal int64) Figure13Result {
+	var res Figure13Result
+	res.Rows = append(res.Rows,
+		ResetTimeRow{
+			Level:  "Hardware",
+			Legacy: legacyLadderTime(seedVal, 3),
+			SEEDU:  seedResetTime(seedVal, ModeSEEDU, "A1"),
+			SEEDR:  seedResetTime(seedVal, ModeSEEDR, "B1"),
+		},
+		ResetTimeRow{
+			Level:  "C-Plane",
+			Legacy: legacyLadderTime(seedVal+1, 2),
+			SEEDU:  seedResetTime(seedVal+1, ModeSEEDU, "A2"),
+			SEEDR:  seedResetTime(seedVal+1, ModeSEEDR, "B2"),
+		},
+		ResetTimeRow{
+			Level:  "D-Plane",
+			Legacy: legacyLadderTime(seedVal+2, 1),
+			SEEDU:  seedResetTime(seedVal+2, ModeSEEDU, "A3"),
+			SEEDR:  seedResetTime(seedVal+2, ModeSEEDR, "B3"),
+		},
+	)
+	return res
+}
+
+// legacyLadderTime measures how long the Android ladder takes from stall
+// declaration until the rung-th action completes its recovery, using a
+// failure only that rung can fix.
+func legacyLadderTime(seedVal int64, rung int) time.Duration {
+	tb := New(seedVal)
+	var opts []DeviceOption
+	opts = append(opts, WithAndroidRecommendedTimers())
+	if rung == 3 {
+		// Stale modem cache from boot (SIM copy correct): only the
+		// modem-restart rung re-reads the SIM and fixes it.
+		opts = append(opts, WithStaleDNN("internet2"))
+	}
+	d := tb.NewDevice(ModeLegacy, opts...)
+	if rung == 3 {
+		tb.MigrateSubscription(d, "internet2", false)
+		first := true
+		d.OnProfileReload(func() {
+			if first {
+				first = false
+				d.inner.Mdm.OverrideSessionDNN("internet")
+			}
+		})
+	}
+	web := d.AddApp(AppWeb)
+	video := d.AddApp(AppVideo)
+	d.Start()
+	if rung != 3 {
+		if !tb.RunUntil(d.Connected, connectDeadline) {
+			return -1
+		}
+	} else {
+		tb.Advance(5 * time.Second) // registration completes; session fails
+	}
+	web.Start()
+	video.Start()
+	if rung != 3 {
+		tb.Advance(90 * time.Second)
+		// A stalled gateway: any session re-establishment fixes it; the
+		// ladder reaches "re-register" on rung 2 (rung 1's TCP cleanup
+		// cannot help, matching §3.3).
+		tb.StallGateway(d)
+	}
+	if !tb.RunUntil(d.inner.Mon.Stalled, 30*time.Minute) {
+		return -1
+	}
+	stallAt := tb.Now()
+	fixed := func() bool {
+		return d.Connected() && !tb.net.UPF.Stalled(d.IMSI())
+	}
+	if !tb.RunUntil(func() bool { return tb.Now() > stallAt && fixed() }, 30*time.Minute) {
+		return -1
+	}
+	return tb.Now() - stallAt
+}
+
+// seedResetTime measures a SEED reset action end to end: from the
+// diagnosis that triggers it until connectivity is back.
+func seedResetTime(seedVal int64, mode Mode, action string) time.Duration {
+	tb := New(seedVal)
+	d := tb.NewDevice(mode)
+	d.Start()
+	if !tb.RunUntil(d.Connected, connectDeadline) {
+		return -1
+	}
+	tb.Advance(30 * time.Second)
+	start := tb.Now()
+	switch action {
+	case "A1", "B1":
+		// Hardware tier: a desynced identity fixed by reload/reset.
+		tb.DesyncIdentity(d)
+		tb.SimulateMobility(d)
+	case "A2", "B2":
+		// Control-plane tier with config refresh: stale slice.
+		tb.RestrictSlice(d, 2)
+		tb.SimulateMobility(d)
+	case "A3", "B3":
+		// Data-plane tier: the boot-time stale-DNN manifestation keeps
+		// the registration intact, so the measurement isolates the pure
+		// data-plane reset (otherwise the last-bearer release forces a
+		// reattach and measures the hardware tier instead).
+		r := tb.replayStaleDNN(mode, true, 0)
+		if !r.Recovered {
+			return -1
+		}
+		return r.Disruption
+	}
+	if !tb.RunUntil(func() bool { return tb.Now() > start && d.Connected() }, 30*time.Minute) {
+		return -1
+	}
+	return tb.Now() - start
+}
+
+// Render formats the bar groups.
+func (f Figure13Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 13: recovery time for multi-tier reset (s)\n")
+	fmt.Fprintf(&b, "  %-10s %8s %8s %8s\n", "Level", "Legacy", "SEED-U", "SEED-R")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "  %-10s %8.1f %8.1f %8.1f\n",
+			r.Level, r.Legacy.Seconds(), r.SEEDU.Seconds(), r.SEEDR.Seconds())
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// §7.1.1 coverage and §7.2.4 online learning
+// ---------------------------------------------------------------------------
+
+// CoverageResult reports the fraction of dataset failures SEED handles
+// automatically per plane (the 89.4 % / 95.5 % numbers).
+type CoverageResult struct {
+	ControlHandled float64
+	DataHandled    float64
+	ControlN       int
+	DataN          int
+}
+
+// ExperimentCoverage replays sampled failures under SEED-U and reports the
+// handled fractions. A case counts as handled when SEED recovered it (or,
+// for user-action cases, never — matching the paper's accounting).
+func ExperimentCoverage(ds *Dataset, samplesPerPlane int, seedVal int64) CoverageResult {
+	var res CoverageResult
+	for _, control := range []bool{true, false} {
+		handled, total := 0, 0
+		for i, fc := range sampleCases(ds, control, samplesPerPlane) {
+			total++
+			r := ReplayManagement(fc, ModeSEEDU, seedVal+int64(i))
+			if r.Recovered && !r.UserActionRequired {
+				handled++
+			}
+		}
+		frac := float64(handled) / float64(total)
+		if control {
+			res.ControlHandled = frac
+			res.ControlN = total
+		} else {
+			res.DataHandled = frac
+			res.DataN = total
+		}
+	}
+	return res
+}
+
+// Render formats the coverage summary.
+func (c CoverageResult) Render() string {
+	return fmt.Sprintf("Coverage (§7.1.1): control-plane %.1f%% handled (n=%d), data-plane %.1f%% handled (n=%d)\n",
+		100*c.ControlHandled, c.ControlN, 100*c.DataHandled, c.DataN)
+}
+
+// LearningResult reports the §7.2.4 online-learning experiment.
+type LearningResult struct {
+	Causes          int
+	CorrectPlane    int
+	TrialsRun       int
+	SuggestionsSent int
+}
+
+// ExperimentLearning reproduces §7.2.4: several devices hit failures from
+// customized (unstandardized) causes — half control-plane functions, half
+// data-plane — 50 times each; the crowd-sourced records must classify
+// every cause to the matching plane's reset actions.
+func ExperimentLearning(devices, causesPerPlane, trialsPerCause int, seedVal int64) LearningResult {
+	tb := New(seedVal)
+	tb.plugin.Learner.LR = 0.5
+
+	var devs []*Device
+	for i := 0; i < devices; i++ {
+		d := tb.NewDevice(ModeSEEDR)
+		d.Start()
+		devs = append(devs, d)
+	}
+	tb.Advance(time.Minute)
+	for _, d := range devs {
+		tb.EstablishIMS(d) // keep registration alive through d-plane trials
+	}
+	tb.Advance(5 * time.Second)
+
+	type custom struct {
+		control bool
+		code    uint8
+	}
+	var causes []custom
+	for i := 0; i < causesPerPlane; i++ {
+		causes = append(causes, custom{true, uint8(150 + i)})
+		causes = append(causes, custom{false, uint8(150 + i)})
+	}
+
+	res := LearningResult{Causes: len(causes)}
+	for t := 0; t < trialsPerCause; t++ {
+		for _, c := range causes {
+			d := devs[(t+int(c.code))%len(devs)]
+			res.TrialsRun++
+			// Failures are tied to a (customized) network function: only a
+			// reset of the corresponding module clears them — a plain
+			// timer retry does not, exactly the unknown-handling premise
+			// of §5.3. The condition is cleared when the device performs
+			// the module's reset.
+			var stop func()
+			if c.control {
+				tb.InjectControlFailure(d, c.code, InjectOpts{Count: -1})
+				stop = clearOnModuleReset(tb, d, true)
+				tb.SimulateMobility(d)
+			} else {
+				tb.InjectDataFailure(d, c.code, InjectOpts{Count: -1})
+				stop = clearOnModuleReset(tb, d, false)
+				tb.ReleaseInternetSessions(d)
+				// wait for the failure to manifest before watching recovery
+				tb.RunUntil(func() bool { return !d.Connected() }, 30*time.Second)
+			}
+			tb.RunUntil(d.Connected, 10*time.Minute)
+			stop()
+			tb.ClearInjections(d)
+			tb.Advance(15 * time.Second)
+			// Upload the SIM records after each recovery (OTA leg).
+			d.inner.CApp.UploadRecords(func(blob []byte) {
+				_ = tb.plugin.ReceiveRecordUpload(blob)
+			})
+			tb.Advance(time.Second)
+		}
+	}
+	res.SuggestionsSent = tb.plugin.Stats().Suggestions
+
+	// Verify plane classification of the learned best actions.
+	for _, c := range causes {
+		best, has := learnedBest(tb, c.control, c.code)
+		if !has {
+			continue
+		}
+		controlAction := best == "B1/modem-reset" || best == "A1/profile-reload" ||
+			best == "B2/cplane-reattach" || best == "A2/cplane-config-update"
+		dataAction := best == "B3/dplane-reset" || best == "A3/dplane-config-update"
+		if (c.control && controlAction) || (!c.control && dataAction) {
+			res.CorrectPlane++
+		}
+	}
+	return res
+}
+
+// clearOnModuleReset removes the device's injected failure once the right
+// module is reset: a modem reboot for control-plane functions, a
+// carrier-app/AT data reset for data-plane functions. It returns a stop
+// function for the watcher.
+func clearOnModuleReset(tb *Testbed, d *Device, control bool) func() {
+	var ticker interface{ Stop() }
+	if control {
+		reboots := d.Reboots()
+		ticker = tb.kern.Every(20*time.Millisecond, func() {
+			if d.Reboots() > reboots {
+				tb.ClearInjections(d)
+			}
+		})
+	} else {
+		st := d.inner.CApp.Stats()
+		base := st.FastResets + st.DataResets
+		ticker = tb.kern.Every(20*time.Millisecond, func() {
+			now := d.inner.CApp.Stats()
+			if now.FastResets+now.DataResets > base {
+				tb.ClearInjections(d)
+			}
+		})
+	}
+	return ticker.Stop
+}
+
+func learnedBest(tb *Testbed, control bool, code uint8) (string, bool) {
+	c := cause.SM(cause.Code(code))
+	if control {
+		c = cause.MM(cause.Code(code))
+	}
+	best, has := tb.plugin.Learner.Best(c)
+	return best.String(), has
+}
+
+// Render formats the learning summary.
+func (l LearningResult) Render() string {
+	return fmt.Sprintf("Online learning (§7.2.4): %d customized causes, %d trials, %d suggestions; %d/%d causes classified to the correct plane\n",
+		l.Causes, l.TrialsRun, l.SuggestionsSent, l.CorrectPlane, l.Causes)
+}

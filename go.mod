@@ -1,0 +1,3 @@
+module github.com/seed5g/seed
+
+go 1.22

@@ -1,0 +1,153 @@
+// Package cause is the registry of standardized 3GPP failure cause codes
+// that SEED's diagnosis is built on. 5G defines 80+ codes embedded in
+// reject signaling messages: 5GMM causes (TS 24.501 §9.11.3.2) cover
+// control-plane management, 5GSM causes (§9.11.4.2) cover data-plane
+// (PDU session) management. The registry also classifies each cause along
+// the axes SEED's decision logic needs:
+//
+//   - plane: control vs data,
+//   - config-related: the Appendix A set, where the infrastructure attaches
+//     the up-to-date configuration to the cause code so the SIM can refresh
+//     it instead of blindly retrying,
+//   - user-action-required: failures no reset can fix (expired plan,
+//     unauthorized subscriber) that SEED surfaces as a user notification.
+package cause
+
+import "fmt"
+
+// Plane identifies which management plane a cause belongs to.
+type Plane uint8
+
+const (
+	// ControlPlane covers 5GMM registration/mobility/authentication causes.
+	ControlPlane Plane = iota + 1
+	// DataPlane covers 5GSM PDU-session management causes.
+	DataPlane
+)
+
+func (p Plane) String() string {
+	switch p {
+	case ControlPlane:
+		return "control-plane"
+	case DataPlane:
+		return "data-plane"
+	default:
+		return fmt.Sprintf("Plane(%d)", uint8(p))
+	}
+}
+
+// ConfigKind names the configuration item the infrastructure supplies
+// alongside a config-related cause (Appendix A of the paper).
+type ConfigKind uint8
+
+const (
+	ConfigNone         ConfigKind = iota
+	ConfigSupportedRAT            // supported radio access technology list
+	ConfigSNSSAI                  // suggested network slice (S-NSSAI)
+	ConfigDNN                     // suggested data network name / APN
+	ConfigSessionType             // suggested PDU session type
+	ConfigTFT                     // suggested traffic flow template
+	ConfigPDUSession              // activated PDU session identity/state
+	ConfigPacketFilter            // suggested packet filter set
+	Config5QI                     // suggested 5QI QoS value
+	ConfigGeneric                 // invalid/missed configuration blob
+)
+
+var configKindNames = map[ConfigKind]string{
+	ConfigNone:         "none",
+	ConfigSupportedRAT: "supported-RAT",
+	ConfigSNSSAI:       "suggested-S-NSSAI",
+	ConfigDNN:          "suggested-DNN",
+	ConfigSessionType:  "suggested-session-type",
+	ConfigTFT:          "suggested-TFT",
+	ConfigPDUSession:   "activated-PDU-session",
+	ConfigPacketFilter: "suggested-packet-filter",
+	Config5QI:          "suggested-5QI",
+	ConfigGeneric:      "invalid/missed-config",
+}
+
+func (c ConfigKind) String() string {
+	if s, ok := configKindNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("ConfigKind(%d)", uint8(c))
+}
+
+// Code is a standardized cause value. The numeric spaces of 5GMM and 5GSM
+// overlap (e.g. 26 is "Non-5G authentication unacceptable" in 5GMM but
+// "Insufficient resources" in 5GSM), so a Code is only meaningful together
+// with its Plane; the Cause type binds the two.
+type Code uint8
+
+// Cause is a (plane, code) pair — the unit SEED's diagnosis operates on.
+type Cause struct {
+	Plane Plane
+	Code  Code
+}
+
+// MM returns a control-plane (5GMM) cause.
+func MM(c Code) Cause { return Cause{ControlPlane, c} }
+
+// SM returns a data-plane (5GSM) cause.
+func SM(c Code) Cause { return Cause{DataPlane, c} }
+
+func (c Cause) String() string {
+	if info, ok := Lookup(c); ok {
+		return fmt.Sprintf("%s #%d %s", c.Plane, c.Code, info.Name)
+	}
+	return fmt.Sprintf("%s #%d (unknown)", c.Plane, c.Code)
+}
+
+// Info describes a registered cause.
+type Info struct {
+	Cause Cause
+	Name  string
+	// Config is the configuration kind the infrastructure should attach
+	// (ConfigNone if this cause is not config-related).
+	Config ConfigKind
+	// UserAction is true when no automatic reset can recover the failure
+	// (e.g. expired subscription): SEED notifies the user instead.
+	UserAction bool
+	// Transient is true for causes that frequently self-heal within ~2 s
+	// (congestion-like), informing SEED's short wait-before-reset timer.
+	Transient bool
+}
+
+// ConfigRelated reports whether the cause carries an updated configuration
+// from the infrastructure (Appendix A).
+func (i Info) ConfigRelated() bool { return i.Config != ConfigNone }
+
+var registry = map[Cause]Info{}
+
+func register(c Cause, name string, cfg ConfigKind, userAction, transient bool) {
+	if _, dup := registry[c]; dup {
+		panic(fmt.Sprintf("cause: duplicate registration of %v #%d", c.Plane, c.Code))
+	}
+	registry[c] = Info{Cause: c, Name: name, Config: cfg, UserAction: userAction, Transient: transient}
+}
+
+// Lookup returns the Info for c and whether c is a registered standardized
+// cause. Unregistered causes are what §5 calls "unstandardized": they flow
+// through SEED's infra-assisted path and online learning instead.
+func Lookup(c Cause) (Info, bool) {
+	i, ok := registry[c]
+	return i, ok
+}
+
+// All returns every registered cause. The slice is freshly allocated.
+func All() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, i := range registry {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Count returns the number of registered standardized causes.
+func Count() int { return len(registry) }
+
+// Storage returns the approximate bytes needed to hold the full cause
+// table in SIM EEPROM: for each cause one plane byte, one code byte, one
+// flags byte, and one config-kind byte. The paper argues the 32–128 KB SIM
+// comfortably holds all codes; this makes the claim checkable.
+func Storage() int { return len(registry) * 4 }

@@ -1,0 +1,187 @@
+package cause
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryHas80PlusCodes(t *testing.T) {
+	if Count() < 80 {
+		t.Fatalf("registry has %d causes; the paper's diagnosis relies on 80+", Count())
+	}
+}
+
+func TestLookupKnown(t *testing.T) {
+	tests := []struct {
+		c    Cause
+		name string
+		cfg  ConfigKind
+		user bool
+	}{
+		{MM(MMUEIdentityCannotBeDerived), "UE identity cannot be derived by the network", ConfigNone, false},
+		{MM(MMNoSuitableCellsInTA), "No suitable cells in tracking area", ConfigNone, false},
+		{MM(MMPLMNNotAllowed), "PLMN not allowed", ConfigNone, false},
+		{MM(MMNoEPSBearerContextActivated), "No EPS bearer context activated", ConfigNone, false},
+		{MM(MMDNNNotSupportedInSlice), "DNN not supported or not subscribed in the slice", ConfigDNN, false},
+		{SM(SMServiceOptionNotSubscribed), "Requested service option not subscribed", ConfigDNN, false},
+		{SM(SMInvalidMandatoryInfo), "Invalid mandatory information", ConfigGeneric, false},
+		{SM(SMUserAuthFailed), "User authentication or authorization failed", ConfigNone, true},
+		{SM(SMInsufficientResources), "Insufficient resources", ConfigNone, false},
+		{SM(SMUnsupported5QI), "Unsupported 5QI value", Config5QI, false},
+	}
+	for _, tt := range tests {
+		info, ok := Lookup(tt.c)
+		if !ok {
+			t.Errorf("Lookup(%v) not found", tt.c)
+			continue
+		}
+		if info.Name != tt.name {
+			t.Errorf("Lookup(%v).Name = %q, want %q", tt.c, info.Name, tt.name)
+		}
+		if info.Config != tt.cfg {
+			t.Errorf("Lookup(%v).Config = %v, want %v", tt.c, info.Config, tt.cfg)
+		}
+		if info.UserAction != tt.user {
+			t.Errorf("Lookup(%v).UserAction = %v, want %v", tt.c, info.UserAction, tt.user)
+		}
+	}
+}
+
+func TestPlaneDisambiguatesOverlappingCodes(t *testing.T) {
+	// Code 26 means different things per plane; the registry must keep them apart.
+	mm, ok1 := Lookup(MM(MMNon5GAuthUnacceptable))
+	sm, ok2 := Lookup(SM(SMInsufficientResources))
+	if !ok1 || !ok2 {
+		t.Fatal("code 26 missing in one plane")
+	}
+	if mm.Name == sm.Name {
+		t.Fatalf("code 26 not disambiguated by plane: both %q", mm.Name)
+	}
+	if MMNon5GAuthUnacceptable != Code(26) {
+		t.Fatal("MMNon5GAuthUnacceptable constant drifted")
+	}
+	if SMInsufficientResources != Code(26) {
+		t.Fatal("SMInsufficientResources constant drifted")
+	}
+}
+
+func TestAppendixAConfigRelatedControlPlane(t *testing.T) {
+	// Exactly the paper's Appendix A control-plane set must be config-related.
+	want := map[Code]ConfigKind{
+		26: ConfigSupportedRAT, 27: ConfigSupportedRAT, 31: ConfigSupportedRAT,
+		62: ConfigSNSSAI, 72: ConfigSupportedRAT, 91: ConfigDNN,
+		95: ConfigGeneric, 96: ConfigGeneric, 100: ConfigGeneric,
+	}
+	for _, info := range All() {
+		if info.Cause.Plane != ControlPlane {
+			continue
+		}
+		k, inSet := want[info.Cause.Code]
+		if inSet {
+			if info.Config != k {
+				t.Errorf("MM#%d config = %v, want %v", info.Cause.Code, info.Config, k)
+			}
+		} else if info.ConfigRelated() {
+			t.Errorf("MM#%d (%s) marked config-related but not in Appendix A", info.Cause.Code, info.Name)
+		}
+	}
+}
+
+func TestAppendixAConfigRelatedDataPlane(t *testing.T) {
+	want := map[Code]bool{
+		27: true, 28: true, 33: true, 39: true, 41: true, 42: true, 43: true,
+		44: true, 45: true, 54: true, 59: true, 68: true, 70: true, 83: true,
+		84: true, 95: true, 96: true, 100: true,
+		// Beyond Appendix A: the "PDU session type X only allowed" causes
+		// are self-describing — per TS 24.501 the UE shall retry with the
+		// indicated type, so the cause value itself is the suggested config.
+		50: true, 51: true, 57: true, 58: true, 61: true,
+	}
+	for _, info := range All() {
+		if info.Cause.Plane != DataPlane {
+			continue
+		}
+		if want[info.Cause.Code] != info.ConfigRelated() {
+			t.Errorf("SM#%d (%s): ConfigRelated = %v, want %v",
+				info.Cause.Code, info.Name, info.ConfigRelated(), want[info.Cause.Code])
+		}
+	}
+}
+
+func TestUserActionCauses(t *testing.T) {
+	// The §7.1.1 unrecoverable residue: unauthorized subscribers (c-plane)
+	// and expired subscriptions (d-plane) require user action.
+	userMM := 0
+	userSM := 0
+	for _, info := range All() {
+		if !info.UserAction {
+			continue
+		}
+		if info.Cause.Plane == ControlPlane {
+			userMM++
+		} else {
+			userSM++
+		}
+	}
+	if userMM == 0 || userSM == 0 {
+		t.Fatalf("user-action causes: mm=%d sm=%d; both planes need at least one", userMM, userSM)
+	}
+}
+
+func TestStorageFitsInSIM(t *testing.T) {
+	if Storage() > 32*1024 {
+		t.Fatalf("cause table needs %d bytes; must fit the smallest 32KB SIM", Storage())
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	s := MM(MMPLMNNotAllowed).String()
+	if !strings.Contains(s, "PLMN not allowed") || !strings.Contains(s, "#11") {
+		t.Fatalf("String() = %q", s)
+	}
+	unk := MM(200).String()
+	if !strings.Contains(unk, "unknown") {
+		t.Fatalf("unknown cause String() = %q", unk)
+	}
+	if ControlPlane.String() != "control-plane" || DataPlane.String() != "data-plane" {
+		t.Fatal("Plane.String drifted")
+	}
+	if Plane(9).String() == "" || ConfigKind(99).String() == "" {
+		t.Fatal("fallback Strings empty")
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	a := All()
+	if len(a) != Count() {
+		t.Fatalf("All returned %d, Count is %d", len(a), Count())
+	}
+	a[0].Name = "mutated"
+	for _, i := range All() {
+		if i.Name == "mutated" {
+			t.Fatal("All exposes internal state")
+		}
+	}
+}
+
+// Property: every registered cause is found by Lookup with identical Info,
+// and unregistered codes are never ConfigRelated.
+func TestPropertyLookupConsistent(t *testing.T) {
+	f := func(plane bool, code uint8) bool {
+		var c Cause
+		if plane {
+			c = MM(Code(code))
+		} else {
+			c = SM(Code(code))
+		}
+		info, ok := Lookup(c)
+		if !ok {
+			return info == Info{}
+		}
+		return info.Cause == c && info.Name != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 512}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package cause
+
+// Well-known cause constants used throughout the codebase. Values follow
+// TS 24.501 (with cause #40 inherited from LTE EMM, which appears in the
+// mixed 4G/5G public traces the paper analyzes).
+const (
+	// 5GMM (control plane)
+	MMIllegalUE                     Code = 3
+	MMPEINotAccepted                Code = 5
+	MMIllegalME                     Code = 6
+	MM5GSServicesNotAllowed         Code = 7
+	MMUEIdentityCannotBeDerived     Code = 9
+	MMImplicitlyDeregistered        Code = 10
+	MMPLMNNotAllowed                Code = 11
+	MMTrackingAreaNotAllowed        Code = 12
+	MMRoamingNotAllowedInTA         Code = 13
+	MMNoSuitableCellsInTA           Code = 15
+	MMMACFailure                    Code = 20
+	MMSynchFailure                  Code = 21
+	MMCongestion                    Code = 22
+	MMUESecurityCapMismatch         Code = 23
+	MMSecurityModeRejected          Code = 24
+	MMNon5GAuthUnacceptable         Code = 26
+	MMN1ModeNotAllowed              Code = 27
+	MMRestrictedServiceArea         Code = 28
+	MMRedirectionToEPCRequired      Code = 31
+	MMNoEPSBearerContextActivated   Code = 40 // LTE EMM heritage, present in traces
+	MMLADNNotAvailable              Code = 43
+	MMNoNetworkSlicesAvailable      Code = 62
+	MMMaxPDUSessionsReached         Code = 65
+	MMInsufficientSliceDNNRes       Code = 67
+	MMInsufficientSliceRes          Code = 69
+	MMNgKSIAlreadyInUse             Code = 71
+	MMNon3GPPAccessNotAllowed       Code = 72
+	MMServingNetworkNotAuthorized   Code = 73
+	MMPayloadNotForwarded           Code = 90
+	MMDNNNotSupportedInSlice        Code = 91
+	MMInsufficientUPResources       Code = 92
+	MMSemanticallyIncorrect         Code = 95
+	MMInvalidMandatoryInfo          Code = 96
+	MMMessageTypeNonExistent        Code = 97
+	MMMessageTypeNotCompatible      Code = 98
+	MMIENonExistent                 Code = 99
+	MMConditionalIEError            Code = 100
+	MMMessageNotCompatibleWithState Code = 101
+	MMProtocolErrorUnspecified      Code = 111
+
+	// 5GSM (data plane)
+	SMOperatorDeterminedBarring       Code = 8
+	SMInsufficientResources           Code = 26
+	SMMissingOrUnknownDNN             Code = 27
+	SMUnknownPDUSessionType           Code = 28
+	SMUserAuthFailed                  Code = 29
+	SMRequestRejectedUnspec           Code = 31
+	SMServiceOptionNotSupported       Code = 32
+	SMServiceOptionNotSubscribed      Code = 33
+	SMPTIAlreadyInUse                 Code = 35
+	SMRegularDeactivation             Code = 36
+	SMNetworkFailure                  Code = 38
+	SMReactivationRequested           Code = 39
+	SMSemanticErrorInTFT              Code = 41
+	SMSyntacticalErrorInTFT           Code = 42
+	SMInvalidPDUSessionID             Code = 43
+	SMSemanticErrorPacketFilter       Code = 44
+	SMSyntacticalErrorPacketFilter    Code = 45
+	SMOutOfLADNServiceArea            Code = 46
+	SMPTIMismatch                     Code = 47
+	SMIPv4OnlyAllowed                 Code = 50
+	SMIPv6OnlyAllowed                 Code = 51
+	SMPDUSessionDoesNotExist          Code = 54
+	SMIPv4v6OnlyAllowed               Code = 57
+	SMUnstructuredOnlyAllowed         Code = 58
+	SMUnsupported5QI                  Code = 59
+	SMEthernetOnlyAllowed             Code = 61
+	SMInsufficientSliceDNNRes         Code = 67
+	SMNotSupportedSSCMode             Code = 68
+	SMInsufficientSliceRes            Code = 69
+	SMMissingDNNInSlice               Code = 70
+	SMInvalidPTIValue                 Code = 81
+	SMMaxDataRateForUPIntegrityTooLow Code = 82
+	SMSemanticErrorInQoS              Code = 83
+	SMSyntacticalErrorInQoS           Code = 84
+	SMInvalidMappedEPSBearerID        Code = 85
+	SMSemanticallyIncorrect           Code = 95
+	SMInvalidMandatoryInfo            Code = 96
+	SMMessageTypeNonExistent          Code = 97
+	SMMessageTypeNotCompatible        Code = 98
+	SMIENonExistent                   Code = 99
+	SMConditionalIEError              Code = 100
+	SMMessageNotCompatibleWithState   Code = 101
+	SMProtocolErrorUnspecified        Code = 111
+)
+
+func init() {
+	// --- 5GMM (control plane) ---------------------------------------
+	mm := func(c Code, name string, cfg ConfigKind, user, transient bool) {
+		register(MM(c), name, cfg, user, transient)
+	}
+	mm(MMIllegalUE, "Illegal UE", ConfigNone, true, false)
+	mm(MMPEINotAccepted, "PEI not accepted", ConfigNone, true, false)
+	mm(MMIllegalME, "Illegal ME", ConfigNone, true, false)
+	mm(MM5GSServicesNotAllowed, "5GS services not allowed", ConfigNone, true, false)
+	mm(MMUEIdentityCannotBeDerived, "UE identity cannot be derived by the network", ConfigNone, false, false)
+	mm(MMImplicitlyDeregistered, "Implicitly de-registered", ConfigNone, false, true)
+	mm(MMPLMNNotAllowed, "PLMN not allowed", ConfigNone, false, false)
+	mm(MMTrackingAreaNotAllowed, "Tracking area not allowed", ConfigNone, false, false)
+	mm(MMRoamingNotAllowedInTA, "Roaming not allowed in this tracking area", ConfigNone, false, false)
+	mm(MMNoSuitableCellsInTA, "No suitable cells in tracking area", ConfigNone, false, true)
+	mm(MMMACFailure, "MAC failure", ConfigNone, false, true)
+	mm(MMSynchFailure, "Synch failure", ConfigNone, false, true)
+	mm(MMCongestion, "Congestion", ConfigNone, false, true)
+	mm(MMUESecurityCapMismatch, "UE security capabilities mismatch", ConfigNone, false, false)
+	mm(MMSecurityModeRejected, "Security mode rejected, unspecified", ConfigNone, false, false)
+	mm(MMNon5GAuthUnacceptable, "Non-5G authentication unacceptable", ConfigSupportedRAT, false, false)
+	mm(MMN1ModeNotAllowed, "N1 mode not allowed", ConfigSupportedRAT, false, false)
+	mm(MMRestrictedServiceArea, "Restricted service area", ConfigNone, false, false)
+	mm(MMRedirectionToEPCRequired, "Redirection to EPC required", ConfigSupportedRAT, false, false)
+	mm(MMNoEPSBearerContextActivated, "No EPS bearer context activated", ConfigNone, false, false)
+	mm(MMLADNNotAvailable, "LADN not available", ConfigNone, false, false)
+	mm(MMNoNetworkSlicesAvailable, "No network slices available", ConfigSNSSAI, false, false)
+	mm(MMMaxPDUSessionsReached, "Maximum number of PDU sessions reached", ConfigNone, false, false)
+	mm(MMInsufficientSliceDNNRes, "Insufficient resources for specific slice and DNN", ConfigNone, false, true)
+	mm(MMInsufficientSliceRes, "Insufficient resources for specific slice", ConfigNone, false, true)
+	mm(MMNgKSIAlreadyInUse, "ngKSI already in use", ConfigNone, false, true)
+	mm(MMNon3GPPAccessNotAllowed, "Non-3GPP access to 5GCN not allowed", ConfigSupportedRAT, false, false)
+	mm(MMServingNetworkNotAuthorized, "Serving network not authorized", ConfigNone, true, false)
+	mm(MMPayloadNotForwarded, "Payload was not forwarded", ConfigNone, false, true)
+	mm(MMDNNNotSupportedInSlice, "DNN not supported or not subscribed in the slice", ConfigDNN, false, false)
+	mm(MMInsufficientUPResources, "Insufficient user-plane resources for the PDU session", ConfigNone, false, true)
+	mm(MMSemanticallyIncorrect, "Semantically incorrect message", ConfigGeneric, false, false)
+	mm(MMInvalidMandatoryInfo, "Invalid mandatory information", ConfigGeneric, false, false)
+	mm(MMMessageTypeNonExistent, "Message type non-existent or not implemented", ConfigNone, false, false)
+	mm(MMMessageTypeNotCompatible, "Message type not compatible with the protocol state", ConfigNone, false, false)
+	mm(MMIENonExistent, "Information element non-existent or not implemented", ConfigNone, false, false)
+	mm(MMConditionalIEError, "Conditional IE error", ConfigGeneric, false, false)
+	mm(MMMessageNotCompatibleWithState, "Message not compatible with the protocol state", ConfigNone, false, false)
+	mm(MMProtocolErrorUnspecified, "Protocol error, unspecified", ConfigNone, false, false)
+
+	// --- 5GSM (data plane) ------------------------------------------
+	sm := func(c Code, name string, cfg ConfigKind, user, transient bool) {
+		register(SM(c), name, cfg, user, transient)
+	}
+	sm(SMOperatorDeterminedBarring, "Operator determined barring", ConfigNone, true, false)
+	sm(SMInsufficientResources, "Insufficient resources", ConfigNone, false, true)
+	sm(SMMissingOrUnknownDNN, "Missing or unknown DNN", ConfigDNN, false, false)
+	sm(SMUnknownPDUSessionType, "Unknown PDU session type", ConfigSessionType, false, false)
+	sm(SMUserAuthFailed, "User authentication or authorization failed", ConfigNone, true, false)
+	sm(SMRequestRejectedUnspec, "Request rejected, unspecified", ConfigNone, false, false)
+	sm(SMServiceOptionNotSupported, "Service option not supported", ConfigNone, false, false)
+	sm(SMServiceOptionNotSubscribed, "Requested service option not subscribed", ConfigDNN, false, false)
+	sm(SMPTIAlreadyInUse, "PTI already in use", ConfigNone, false, true)
+	sm(SMRegularDeactivation, "Regular deactivation", ConfigNone, false, false)
+	sm(SMNetworkFailure, "Network failure", ConfigNone, false, true)
+	sm(SMReactivationRequested, "Reactivation requested", ConfigDNN, false, false)
+	sm(SMSemanticErrorInTFT, "Semantic error in the TFT operation", ConfigTFT, false, false)
+	sm(SMSyntacticalErrorInTFT, "Syntactical error in the TFT operation", ConfigTFT, false, false)
+	sm(SMInvalidPDUSessionID, "Invalid PDU session identity", ConfigPDUSession, false, false)
+	sm(SMSemanticErrorPacketFilter, "Semantic errors in packet filter(s)", ConfigPacketFilter, false, false)
+	sm(SMSyntacticalErrorPacketFilter, "Syntactical error in packet filter(s)", ConfigPacketFilter, false, false)
+	sm(SMOutOfLADNServiceArea, "Out of LADN service area", ConfigNone, false, false)
+	sm(SMPTIMismatch, "PTI mismatch", ConfigNone, false, true)
+	sm(SMIPv4OnlyAllowed, "PDU session type IPv4 only allowed", ConfigSessionType, false, false)
+	sm(SMIPv6OnlyAllowed, "PDU session type IPv6 only allowed", ConfigSessionType, false, false)
+	sm(SMPDUSessionDoesNotExist, "PDU session does not exist", ConfigPDUSession, false, false)
+	sm(SMIPv4v6OnlyAllowed, "PDU session type IPv4v6 only allowed", ConfigSessionType, false, false)
+	sm(SMUnstructuredOnlyAllowed, "PDU session type Unstructured only allowed", ConfigSessionType, false, false)
+	sm(SMUnsupported5QI, "Unsupported 5QI value", Config5QI, false, false)
+	sm(SMEthernetOnlyAllowed, "PDU session type Ethernet only allowed", ConfigSessionType, false, false)
+	sm(SMInsufficientSliceDNNRes, "Insufficient resources for specific slice and DNN", ConfigNone, false, true)
+	sm(SMNotSupportedSSCMode, "Not supported SSC mode", ConfigPacketFilter, false, false)
+	sm(SMInsufficientSliceRes, "Insufficient resources for specific slice", ConfigNone, false, true)
+	sm(SMMissingDNNInSlice, "Missing or unknown DNN in a slice", ConfigDNN, false, false)
+	sm(SMInvalidPTIValue, "Invalid PTI value", ConfigNone, false, false)
+	sm(SMMaxDataRateForUPIntegrityTooLow, "Maximum data rate per UE for user-plane integrity protection is too low", ConfigNone, false, false)
+	sm(SMSemanticErrorInQoS, "Semantic error in the QoS operation", ConfigPacketFilter, false, false)
+	sm(SMSyntacticalErrorInQoS, "Syntactical error in the QoS operation", ConfigPacketFilter, false, false)
+	sm(SMInvalidMappedEPSBearerID, "Invalid mapped EPS bearer identity", ConfigNone, false, false)
+	sm(SMSemanticallyIncorrect, "Semantically incorrect message", ConfigGeneric, false, false)
+	sm(SMInvalidMandatoryInfo, "Invalid mandatory information", ConfigGeneric, false, false)
+	sm(SMMessageTypeNonExistent, "Message type non-existent or not implemented", ConfigNone, false, false)
+	sm(SMMessageTypeNotCompatible, "Message type not compatible with the protocol state", ConfigNone, false, false)
+	sm(SMIENonExistent, "Information element non-existent or not implemented", ConfigNone, false, false)
+	sm(SMConditionalIEError, "Conditional IE error", ConfigGeneric, false, false)
+	sm(SMMessageNotCompatibleWithState, "Message not compatible with the protocol state", ConfigNone, false, false)
+	sm(SMProtocolErrorUnspecified, "Protocol error, unspecified", ConfigNone, false, false)
+}

@@ -1,0 +1,109 @@
+// Package core implements SEED itself — the paper's contribution:
+//
+//   - the SIM applet (diagnostic module + decision module) that turns
+//     standardized cause codes and infrastructure assistance into
+//     multi-tier reset decisions (Table 3),
+//   - the multi-tier reset actions A1–A3 (no root) and B1–B3 (root),
+//   - the carrier app: app/OS failure-report service, recovery action
+//     module, root detection, report filtering,
+//   - the core-network plugin: Figure 8's decision tree over reject hooks,
+//     congestion warnings, customized causes, config lookup,
+//   - the real-time SIM↔infrastructure collaboration channel riding in
+//     Authentication Request AUTN fields (downlink, Fig 7a) and DIAG DNNs
+//     (uplink, Fig 7b), sealed with 128-EEA2/EIA2,
+//   - the collaborative online-learning algorithm (Algorithm 1), and
+//   - the fast data-plane reset without reattach (Fig 6).
+package core
+
+import "fmt"
+
+// ActionID identifies a multi-tier reset action (Figure 5).
+type ActionID uint8
+
+const (
+	// ActionA1 reloads the SIM profile via a REFRESH proactive command.
+	ActionA1 ActionID = iota + 1
+	// ActionA2 updates control-plane configuration on the SIM then reloads.
+	ActionA2
+	// ActionA3 updates data-plane configuration via the carrier app.
+	ActionA3
+	// ActionB1 resets the modem with AT+CFUN (root).
+	ActionB1
+	// ActionB2 reattaches the control plane with AT+CGATT (root).
+	ActionB2
+	// ActionB3 resets or modifies the data plane without reattach (root).
+	ActionB3
+)
+
+func (a ActionID) String() string {
+	switch a {
+	case ActionA1:
+		return "A1/profile-reload"
+	case ActionA2:
+		return "A2/cplane-config-update"
+	case ActionA3:
+		return "A3/dplane-config-update"
+	case ActionB1:
+		return "B1/modem-reset"
+	case ActionB2:
+		return "B2/cplane-reattach"
+	case ActionB3:
+		return "B3/dplane-reset"
+	default:
+		return fmt.Sprintf("ActionID(%d)", uint8(a))
+	}
+}
+
+// RequiresRoot reports whether the action needs SEED-R mode.
+func (a ActionID) RequiresRoot() bool { return a >= ActionB1 }
+
+// Equivalent returns the same-tier action for the other privilege mode.
+func (a ActionID) Equivalent() ActionID {
+	switch a {
+	case ActionA1:
+		return ActionB1
+	case ActionA2:
+		return ActionB2
+	case ActionA3:
+		return ActionB3
+	case ActionB1:
+		return ActionA1
+	case ActionB2:
+		return ActionA2
+	case ActionB3:
+		return ActionA3
+	default:
+		return a
+	}
+}
+
+// LearningOrder is the trial sequence of Algorithm 1 line 2: from the
+// cheapest reset (data plane) to the most disruptive (hardware).
+var LearningOrder = []ActionID{ActionB3, ActionA3, ActionB2, ActionA2, ActionB1, ActionA1}
+
+// Mode selects SEED's privilege level.
+type Mode uint8
+
+const (
+	// ModeU is SEED-U: no root, proactive-command and carrier-app paths.
+	ModeU Mode = iota + 1
+	// ModeR is SEED-R: root available, AT-command paths.
+	ModeR
+)
+
+func (m Mode) String() string {
+	if m == ModeR {
+		return "SEED-R"
+	}
+	return "SEED-U"
+}
+
+// ForMode maps an action to the one executable under mode (B-actions
+// degrade to their A-equivalents without root; A-actions are upgraded to
+// B-equivalents with root only where Table 3 says so, so they are kept).
+func (a ActionID) ForMode(m Mode) ActionID {
+	if m == ModeU && a.RequiresRoot() {
+		return a.Equivalent()
+	}
+	return a
+}

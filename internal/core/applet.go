@@ -1,0 +1,589 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/crypto5g"
+	"github.com/seed5g/seed/internal/report"
+	"github.com/seed5g/seed/internal/sched"
+	"github.com/seed5g/seed/internal/sim"
+)
+
+// AppletAID is the SEED applet's application identifier.
+const AppletAID = "A0-SEED-DIAG"
+
+// Envelope opcodes on the carrier-app → applet channel.
+const (
+	envEnableRoot  byte = 0x01
+	envAppReport   byte = 0x02
+	envValidated   byte = 0x03
+	envUploadRecs  byte = 0x04
+	envDisableRoot byte = 0x05
+)
+
+// DeviceActions is the applet's outbound interface to the device: the
+// recovery primitives the carrier app (and, with root, AT commands)
+// expose. The applet's A1/A2 actions and user notifications go through
+// proactive commands on the card instead.
+type DeviceActions interface {
+	// RunAT executes an AT command line (SEED-R only).
+	RunAT(cmd string) error
+	// UpdateDataConfig applies an updated data-plane configuration item
+	// through the carrier-app UICC-privilege path (A3).
+	UpdateDataConfig(kind cause.ConfigKind, value []byte)
+	// ResetDataConnection cycles the data session make-before-break (A3).
+	ResetDataConnection()
+	// FastDataReset performs the Fig 6 DIAG-session reset (B3).
+	FastDataReset()
+	// RequestDataModification asks the network to re-push the session
+	// configuration (B3 modification).
+	RequestDataModification()
+	// SendUplinkReport transmits sealed report fragments as DIAG DNNs
+	// (Fig 7b; OPEN CHANNEL proactive semantics without root, AT with).
+	SendUplinkReport(frags []string)
+}
+
+// AppletConfig carries the applet's timing policy.
+type AppletConfig struct {
+	// ProcLatency models in-SIM processing per decision.
+	ProcLatency time.Duration
+	// CPlaneWait is the 2 s timer before hardware/control-plane resets
+	// (§4.4.2): transient failures that clear in time cancel the reset.
+	CPlaneWait time.Duration
+	// ConflictWindow suppresses delivery-report handling within this time
+	// of a control/data-plane cause (5 s per §4.4.2).
+	ConflictWindow time.Duration
+	// RateLimitGap is the minimum spacing between identical actions.
+	RateLimitGap time.Duration
+	// TrialWindow is how long an online-learning trial waits for recovery
+	// before moving to the next action.
+	TrialWindow time.Duration
+	// UseProactiveAT enables the §9 rootless-SEED-R extension: on modems
+	// that support the TS 102 223 RUN AT COMMAND proactive command, the
+	// applet drives the B-tier resets itself, without root on the phone.
+	UseProactiveAT bool
+	// NaiveFullReset is an ablation arm: ignore the diagnosis and always
+	// reset the whole modem (what a cause-blind design would do).
+	NaiveFullReset bool
+}
+
+// DefaultAppletConfig returns the paper's timing policy.
+func DefaultAppletConfig() AppletConfig {
+	return AppletConfig{
+		ProcLatency:    10 * time.Millisecond,
+		CPlaneWait:     2 * time.Second,
+		ConflictWindow: 5 * time.Second,
+		RateLimitGap:   5 * time.Second,
+		TrialWindow:    10 * time.Second,
+	}
+}
+
+// AppletStats counts applet activity.
+type AppletStats struct {
+	DiagsReceived        int
+	FragmentsSeen        int
+	ReportsReceived      int
+	ReportsSent          int
+	UserNotices          int
+	CongestionWaits      int
+	SuppressedByConflict int
+	Actions              map[ActionID]int
+	TrialsStarted        int
+	TrialsResolved       int
+}
+
+type recKey struct {
+	plane  cause.Plane
+	code   cause.Code
+	action ActionID
+}
+
+type trialState struct {
+	c     cause.Cause
+	idx   int
+	last  ActionID
+	timer *sched.Timer
+}
+
+// SEEDApplet is the SIM applet: the diagnostic module (cause lookup,
+// config parsing/storage, fragment reassembly, envelope decryption) and
+// the decision module (Table 3 + the §4.4.2 timers + Algorithm 1's SIM
+// side). It implements sim.Applet and sim.DiagnosisHandler.
+type SEEDApplet struct {
+	k      *sched.Kernel
+	card   *sim.Card
+	cfg    AppletConfig
+	env    *crypto5g.Envelope
+	device DeviceActions
+
+	mode  Mode
+	reasm Reassembler
+
+	lastPlaneCause  time.Duration // last control/data-plane cause handled
+	hasPlaneCause   bool
+	lastAction      map[ActionID]time.Duration
+	pendingCP       *sched.Timer
+	congestionUntil time.Duration
+
+	records map[recKey]uint16
+	trial   *trialState
+
+	stats AppletStats
+}
+
+// NewApplet creates the SEED applet for a card provisioned with in-SIM
+// key k. Call card.InstallApplet with the carrier MAC to deploy it.
+func NewApplet(kern *sched.Kernel, card *sim.Card, k [16]byte, cfg AppletConfig, device DeviceActions) *SEEDApplet {
+	return &SEEDApplet{
+		k: kern, card: card, cfg: cfg,
+		env:        NewChannelEnvelope(k),
+		device:     device,
+		mode:       ModeU,
+		lastAction: make(map[ActionID]time.Duration),
+		records:    make(map[recKey]uint16),
+	}
+}
+
+// AID implements sim.Applet.
+func (a *SEEDApplet) AID() string { return AppletAID }
+
+// RAMBytes implements sim.Applet (the prototype's working set).
+func (a *SEEDApplet) RAMBytes() int { return 2048 }
+
+// CodeBytes implements sim.Applet (≈1244 lines of Javacard compiled).
+func (a *SEEDApplet) CodeBytes() int { return 16 * 1024 }
+
+// Mode returns the current privilege mode.
+func (a *SEEDApplet) Mode() Mode { return a.mode }
+
+// effectiveMode is the mode decisions run under: root, or the rootless
+// proactive-AT path, both unlock the B-tier actions.
+func (a *SEEDApplet) effectiveMode() Mode {
+	if a.mode == ModeR || a.cfg.UseProactiveAT {
+		return ModeR
+	}
+	return ModeU
+}
+
+// Stats returns a copy of the counters.
+func (a *SEEDApplet) Stats() AppletStats {
+	s := a.stats
+	s.Actions = make(map[ActionID]int, len(a.stats.Actions))
+	for k2, v := range a.stats.Actions {
+		s.Actions[k2] = v
+	}
+	return s
+}
+
+// Records returns a copy of the SIM-side learning records.
+func (a *SEEDApplet) Records() map[recKey]uint16 {
+	out := make(map[recKey]uint16, len(a.records))
+	for k2, v := range a.records {
+		out[k2] = v
+	}
+	return out
+}
+
+// --- downlink diagnosis channel -----------------------------------------
+
+// HandleAuthDiagnosis implements sim.DiagnosisHandler: it consumes one
+// AUTN fragment and returns the AUTS ACK.
+func (a *SEEDApplet) HandleAuthDiagnosis(autn [16]byte) []byte {
+	a.stats.FragmentsSeen++
+	seq := autn[0]
+	full := a.reasm.Accept(autn)
+	if full != nil {
+		payload, err := a.env.Open(crypto5g.Downlink, full)
+		if err == nil {
+			if msg, err2 := UnmarshalDiag(payload); err2 == nil {
+				a.stats.DiagsReceived++
+				a.k.After(a.cfg.ProcLatency, func() { a.handleDiag(msg) })
+			}
+		}
+	}
+	return DiagAck(seq)
+}
+
+// handleDiag is the decision module's entry point for infrastructure
+// assistance (Table 3 + §5.2's four assistance types).
+func (a *SEEDApplet) handleDiag(m DiagMessage) {
+	now := a.k.Now()
+	if a.trial != nil && m.Kind != DiagCongestion {
+		// An online-learning trial owns the current failure; concurrent
+		// assistance would double-handle (the §4.4.2 conflict rule).
+		return
+	}
+	switch m.Kind {
+	case DiagCongestion:
+		// Do not reset into a congested cell; wait the embedded timer.
+		a.stats.CongestionWaits++
+		a.congestionUntil = now + time.Duration(m.WaitSeconds)*time.Second
+		return
+
+	case DiagSuggestAction:
+		a.markPlaneCause(m.Plane)
+		act := m.Action.ForMode(a.effectiveMode())
+		if act == ActionA1 || act == ActionB1 || act == ActionA2 || act == ActionB2 {
+			// Hardware/control-plane resets get the 2 s transient window.
+			if a.pendingCP != nil {
+				a.pendingCP.Stop()
+			}
+			a.pendingCP = a.k.After(a.cfg.CPlaneWait, func() {
+				a.pendingCP = nil
+				if a.k.Now() < a.congestionUntil {
+					return
+				}
+				a.execute(act)
+			})
+			return
+		}
+		a.execute(act)
+		return
+
+	case DiagUnknown:
+		a.markPlaneCause(m.Plane)
+		a.startTrial(cause.Cause{Plane: m.Plane, Code: m.Code})
+		return
+	}
+
+	// DiagCause / DiagCauseConfig: standardized handling.
+	info, std := cause.Lookup(cause.Cause{Plane: m.Plane, Code: m.Code})
+	if std && info.UserAction {
+		// Unrecoverable without the user (expired plan, unauthorized
+		// subscriber): notify instead of resetting.
+		a.stats.UserNotices++
+		a.card.QueueProactive(sim.ProactiveCommand{
+			Type: sim.ProactiveDisplayText,
+			Text: fmt.Sprintf("Service issue: %s. Please contact your operator.", info.Name),
+		})
+		return
+	}
+	a.markPlaneCause(m.Plane)
+
+	if m.Plane == cause.ControlPlane {
+		a.scheduleCPlane(m)
+		return
+	}
+	a.handleDPlaneCause(m)
+}
+
+func (a *SEEDApplet) markPlaneCause(p cause.Plane) {
+	a.lastPlaneCause = a.k.Now()
+	a.hasPlaneCause = true
+}
+
+// scheduleCPlane arms the 2 s wait before a control-plane/hardware reset;
+// a recovery signal in the window cancels it.
+func (a *SEEDApplet) scheduleCPlane(m DiagMessage) {
+	if a.pendingCP != nil {
+		a.pendingCP.Stop()
+	}
+	a.pendingCP = a.k.After(a.cfg.CPlaneWait, func() {
+		a.pendingCP = nil
+		if a.k.Now() < a.congestionUntil {
+			return
+		}
+		if m.Kind == DiagCauseConfig {
+			a.applyCPlaneConfig(m.ConfigKind, m.Config)
+			if a.effectiveMode() == ModeR {
+				// B2 "reattachment with update": refresh the modem's
+				// cached config from the just-written EFs, then reattach.
+				a.card.QueueProactive(sim.ProactiveCommand{
+					Type: sim.ProactiveRefresh, Mode: sim.RefreshFileChange,
+					Files: []sim.FileID{sim.EFPLMNSel, sim.EFRATMode, sim.EFSNSSAI, sim.EFDNN},
+				})
+				a.execute(ActionB2)
+			} else {
+				a.execute(ActionA2)
+			}
+			return
+		}
+		if a.effectiveMode() == ModeR {
+			a.execute(ActionB1)
+		} else {
+			a.execute(ActionA1)
+		}
+	})
+}
+
+// applyCPlaneConfig writes a refreshed control-plane configuration item
+// into its EF so the subsequent reload picks it up.
+func (a *SEEDApplet) applyCPlaneConfig(kind cause.ConfigKind, cfg []byte) {
+	switch kind {
+	case cause.ConfigSupportedRAT:
+		_ = a.card.FS().Write(sim.EFRATMode, cfg)
+	case cause.ConfigSNSSAI:
+		_ = a.card.FS().Write(sim.EFSNSSAI, cfg)
+	case cause.ConfigDNN:
+		_ = a.card.FS().Write(sim.EFDNN, cfg)
+	case cause.ConfigGeneric:
+		// PLMN list and other generic refreshes.
+		_ = a.card.FS().Write(sim.EFPLMNSel, cfg)
+	}
+}
+
+func (a *SEEDApplet) handleDPlaneCause(m DiagMessage) {
+	if a.k.Now() < a.congestionUntil {
+		return
+	}
+	if m.Kind == DiagCauseConfig {
+		// Store the refreshed config (DNN into its EF) and apply it via
+		// the carrier app, then re-establish / modify.
+		if m.ConfigKind == cause.ConfigDNN {
+			_ = a.card.FS().Write(sim.EFDNN, m.Config)
+		}
+		a.device.UpdateDataConfig(m.ConfigKind, m.Config)
+		if a.effectiveMode() == ModeR {
+			a.execute(ActionB3)
+		} else {
+			a.execute(ActionA3)
+		}
+		return
+	}
+	// Non-config data-plane cause: reload (U) or fast reset (R).
+	if a.effectiveMode() == ModeR {
+		a.execute(ActionB3)
+	} else {
+		a.execute(ActionA1)
+	}
+}
+
+// --- carrier-app envelope channel ---------------------------------------
+
+// HandleEnvelope implements sim.Applet: the carrier app's channel.
+func (a *SEEDApplet) HandleEnvelope(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty envelope")
+	}
+	switch data[0] {
+	case envEnableRoot:
+		a.mode = ModeR
+		return []byte{0x00}, nil
+	case envDisableRoot:
+		a.mode = ModeU
+		return []byte{0x00}, nil
+	case envValidated:
+		a.notifyRecovered()
+		return []byte{0x00}, nil
+	case envAppReport:
+		r, err := report.Unmarshal(data[1:])
+		if err != nil {
+			return nil, err
+		}
+		a.stats.ReportsReceived++
+		a.k.After(a.cfg.ProcLatency, func() { a.handleDeliveryReport(r) })
+		return []byte{0x00}, nil
+	case envUploadRecs:
+		out := a.marshalRecords()
+		a.records = make(map[recKey]uint16)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("core: unknown envelope opcode %#x", data[0])
+	}
+}
+
+// handleDeliveryReport processes an app/OS data-delivery failure report
+// (§4.4.2 last row of Table 3).
+func (a *SEEDApplet) handleDeliveryReport(r report.FailureReport) {
+	now := a.k.Now()
+	// Conflict suppression: an ongoing control/data-plane handling within
+	// the last 5 s explains the delivery failure; do not double-handle.
+	if a.hasPlaneCause && now-a.lastPlaneCause < a.cfg.ConflictWindow {
+		a.stats.SuppressedByConflict++
+		return
+	}
+	if now < a.congestionUntil {
+		return
+	}
+	// Forward the report to the infrastructure for policy checking
+	// (sealed, fragmented into DIAG DNNs).
+	sealed, err := a.env.Seal(crypto5g.Uplink, r.Marshal())
+	if err == nil {
+		a.stats.ReportsSent++
+		a.device.SendUplinkReport(FragmentDNN(sealed))
+	}
+	// Local reset in parallel: A3 cycle without root, B3 with.
+	if a.effectiveMode() == ModeR {
+		a.execute(ActionB3)
+	} else {
+		a.execute(ActionA3)
+	}
+}
+
+// --- action execution ----------------------------------------------------
+
+// execute runs one multi-tier reset action, subject to rate limiting.
+func (a *SEEDApplet) execute(action ActionID) {
+	if a.cfg.NaiveFullReset && a.trial == nil {
+		// Ablation: collapse every decision to the hardware tier.
+		if a.effectiveMode() == ModeR {
+			action = ActionB1
+		} else {
+			action = ActionA1
+		}
+	}
+	now := a.k.Now()
+	if last, seen := a.lastAction[action]; seen && now-last < a.cfg.RateLimitGap {
+		return
+	}
+	a.lastAction[action] = now
+	if a.stats.Actions == nil {
+		a.stats.Actions = make(map[ActionID]int)
+	}
+	a.stats.Actions[action]++
+
+	switch action {
+	case ActionA1:
+		a.card.QueueProactive(sim.ProactiveCommand{
+			Type: sim.ProactiveRefresh, Mode: sim.RefreshInit,
+		})
+	case ActionA2:
+		// Config EFs were written by applyCPlaneConfig; tell the modem
+		// which files changed, then reload.
+		a.card.QueueProactive(sim.ProactiveCommand{
+			Type: sim.ProactiveRefresh, Mode: sim.RefreshFileChange,
+			Files: []sim.FileID{sim.EFPLMNSel, sim.EFRATMode, sim.EFSNSSAI, sim.EFDNN},
+		})
+		a.card.QueueProactive(sim.ProactiveCommand{
+			Type: sim.ProactiveRefresh, Mode: sim.RefreshInit,
+		})
+	case ActionA3:
+		a.device.ResetDataConnection()
+	case ActionB1:
+		a.runAT("AT+CFUN=1,1")
+	case ActionB2:
+		a.runAT("AT+CGATT=0")
+		a.runAT("AT+CGATT=1")
+	case ActionB3:
+		a.device.FastDataReset()
+	}
+}
+
+// runAT issues an AT command through the carrier app (root) or, on the
+// rootless proactive-AT path, directly from the SIM via the TS 102 223
+// RUN AT COMMAND proactive command.
+func (a *SEEDApplet) runAT(cmd string) {
+	if a.mode == ModeR {
+		_ = a.device.RunAT(cmd)
+		return
+	}
+	a.card.QueueProactive(sim.ProactiveCommand{Type: sim.ProactiveRunATCommand, Text: cmd})
+}
+
+// --- recovery observation & online learning ------------------------------
+
+// notifyRecovered is the recovery signal: a successful real AKA run or a
+// carrier-app "connectivity validated" notification. It cancels a pending
+// control-plane reset (the 2 s transient window) and resolves trials.
+func (a *SEEDApplet) notifyRecovered() {
+	if a.pendingCP != nil {
+		a.pendingCP.Stop()
+		a.pendingCP = nil
+	}
+	if a.trial != nil {
+		t := a.trial
+		a.trial = nil
+		if t.timer != nil {
+			t.timer.Stop()
+		}
+		// Algorithm 1 line 4: record the action that resolved the cause.
+		key := recKey{plane: t.c.Plane, code: t.c.Code, action: t.last}
+		a.records[key]++
+		a.stats.TrialsResolved++
+		a.persistRecords()
+	}
+}
+
+// ObserveAuth adapts the card's auth observer to the recovery signal.
+func (a *SEEDApplet) ObserveAuth(kind sim.AuthKind) {
+	if kind == sim.AuthOK {
+		a.notifyRecovered()
+	}
+}
+
+// startTrial begins Algorithm 1's SIM side for an unknown cause: try the
+// supported resets sequentially from data plane to hardware.
+func (a *SEEDApplet) startTrial(c cause.Cause) {
+	if a.trial != nil {
+		return // one trial at a time
+	}
+	a.stats.TrialsStarted++
+	a.trial = &trialState{c: c, idx: -1}
+	a.advanceTrial()
+}
+
+func (a *SEEDApplet) advanceTrial() {
+	t := a.trial
+	if t == nil {
+		return
+	}
+	var prev ActionID
+	if t.idx >= 0 {
+		prev = LearningOrder[t.idx].ForMode(a.effectiveMode())
+	}
+	for {
+		t.idx++
+		if t.idx >= len(LearningOrder) {
+			a.trial = nil // exhausted: give up (would notify the user)
+			return
+		}
+		next := LearningOrder[t.idx].ForMode(a.effectiveMode())
+		if next == prev {
+			continue // mode folding made this a duplicate of the last try
+		}
+		t.last = next
+		break
+	}
+	a.execute(t.last)
+	t.timer = a.k.After(a.cfg.TrialWindow, a.advanceTrial)
+}
+
+// TryKnownAction is the "suggested handling failed" fallback of §5.3: a
+// suggested action that did not recover within the window degrades to the
+// full trial sequence.
+func (a *SEEDApplet) TryKnownAction(c cause.Cause, suggested ActionID) {
+	a.execute(suggested.ForMode(a.effectiveMode()))
+	a.k.After(a.cfg.TrialWindow, func() {
+		if a.trial == nil && a.hasPlaneCause {
+			// no recovery observed; fall back to the sequential trials
+			a.startTrial(c)
+		}
+	})
+}
+
+// marshalRecords serializes SIMRecord for the OTA upload.
+func (a *SEEDApplet) marshalRecords() []byte {
+	out := make([]byte, 0, len(a.records)*5)
+	for k2, v := range a.records {
+		out = append(out, byte(k2.plane), byte(k2.code), byte(k2.action))
+		out = binary.BigEndian.AppendUint16(out, v)
+	}
+	return out
+}
+
+// UnmarshalRecords decodes an uploaded SIMRecord blob.
+func UnmarshalRecords(data []byte) (map[cause.Cause]map[ActionID]int, error) {
+	if len(data)%5 != 0 {
+		return nil, fmt.Errorf("core: record blob length %d not a multiple of 5", len(data))
+	}
+	out := make(map[cause.Cause]map[ActionID]int)
+	for i := 0; i < len(data); i += 5 {
+		c := cause.Cause{Plane: cause.Plane(data[i]), Code: cause.Code(data[i+1])}
+		act := ActionID(data[i+2])
+		n := int(binary.BigEndian.Uint16(data[i+3 : i+5]))
+		if out[c] == nil {
+			out[c] = make(map[ActionID]int)
+		}
+		out[c][act] += n
+	}
+	return out, nil
+}
+
+// persistRecords writes the learning records into EFSEEDLog, exercising
+// the EEPROM quota (the data volume argument of §5.3).
+func (a *SEEDApplet) persistRecords() {
+	_ = a.card.FS().Write(sim.EFSEEDLog, a.marshalRecords())
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"crypto/aes"
+	"encoding/hex"
+	"fmt"
+
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/crypto5g"
+	"github.com/seed5g/seed/internal/nas"
+)
+
+// DiagKind classifies a downlink diagnosis message (the four assistance
+// types of §5.2 plus the plain standardized-cause delivery of §4.3).
+type DiagKind uint8
+
+const (
+	// DiagCause delivers a standardized cause code.
+	DiagCause DiagKind = iota + 1
+	// DiagCauseConfig delivers a cause code plus the up-to-date
+	// configuration (Appendix A causes).
+	DiagCauseConfig
+	// DiagSuggestAction delivers a customized cause with a suggested
+	// reset action.
+	DiagSuggestAction
+	// DiagCongestion warns of cell/core congestion with a wait timer.
+	DiagCongestion
+	// DiagUnknown delivers a customized cause with no suggestion — the
+	// online-learning trial trigger.
+	DiagUnknown
+)
+
+func (k DiagKind) String() string {
+	switch k {
+	case DiagCause:
+		return "cause"
+	case DiagCauseConfig:
+		return "cause+config"
+	case DiagSuggestAction:
+		return "suggested-action"
+	case DiagCongestion:
+		return "congestion"
+	case DiagUnknown:
+		return "unknown-cause"
+	default:
+		return fmt.Sprintf("DiagKind(%d)", uint8(k))
+	}
+}
+
+// DiagMessage is the diagnosis payload the infrastructure sends to the
+// SIM (sealed, then fragmented into AUTN fields).
+type DiagMessage struct {
+	Kind  DiagKind
+	Plane cause.Plane
+	Code  cause.Code
+
+	// ConfigKind/Config carry the updated configuration for
+	// DiagCauseConfig.
+	ConfigKind cause.ConfigKind
+	Config     []byte
+
+	// Action is the suggestion for DiagSuggestAction.
+	Action ActionID
+
+	// WaitSeconds is the congestion backoff for DiagCongestion.
+	WaitSeconds uint16
+}
+
+// Marshal encodes the message compactly (it must survive sealing and
+// AUTN-field fragmentation with as few rounds as possible).
+func (m DiagMessage) Marshal() []byte {
+	out := []byte{byte(m.Kind), byte(m.Plane), byte(m.Code)}
+	switch m.Kind {
+	case DiagCauseConfig:
+		out = append(out, byte(m.ConfigKind), byte(len(m.Config)))
+		out = append(out, m.Config...)
+	case DiagSuggestAction:
+		out = append(out, byte(m.Action))
+	case DiagCongestion:
+		out = append(out, byte(m.WaitSeconds>>8), byte(m.WaitSeconds))
+	}
+	return out
+}
+
+// UnmarshalDiag decodes a diagnosis message.
+func UnmarshalDiag(data []byte) (DiagMessage, error) {
+	if len(data) < 3 {
+		return DiagMessage{}, fmt.Errorf("core: diag message too short (%d)", len(data))
+	}
+	m := DiagMessage{
+		Kind:  DiagKind(data[0]),
+		Plane: cause.Plane(data[1]),
+		Code:  cause.Code(data[2]),
+	}
+	rest := data[3:]
+	switch m.Kind {
+	case DiagCause, DiagUnknown:
+	case DiagCauseConfig:
+		if len(rest) < 2 {
+			return m, fmt.Errorf("core: diag config header truncated")
+		}
+		m.ConfigKind = cause.ConfigKind(rest[0])
+		n := int(rest[1])
+		if len(rest) < 2+n {
+			return m, fmt.Errorf("core: diag config truncated: want %d have %d", n, len(rest)-2)
+		}
+		m.Config = append([]byte(nil), rest[2:2+n]...)
+	case DiagSuggestAction:
+		if len(rest) < 1 {
+			return m, fmt.Errorf("core: diag action truncated")
+		}
+		m.Action = ActionID(rest[0])
+	case DiagCongestion:
+		if len(rest) < 2 {
+			return m, fmt.Errorf("core: diag congestion truncated")
+		}
+		m.WaitSeconds = uint16(rest[0])<<8 | uint16(rest[1])
+	default:
+		return m, fmt.Errorf("core: unknown diag kind %d", data[0])
+	}
+	return m, nil
+}
+
+// DeriveEnvelopeKeys derives the collaboration channel's encryption and
+// integrity keys from the pre-shared in-SIM key K, as the prototype does
+// ("using the pre-shared in-SIM key", §6). Both sides hold K, so both
+// derive identical keys without any certificate exchange.
+func DeriveEnvelopeKeys(k [16]byte) (enc, integ [16]byte) {
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		panic(err) // 16-byte array cannot fail
+	}
+	var encIn, intIn [16]byte
+	copy(encIn[:], "SEED-ENC-KEY-001")
+	copy(intIn[:], "SEED-INT-KEY-001")
+	block.Encrypt(enc[:], encIn[:])
+	block.Encrypt(integ[:], intIn[:])
+	return
+}
+
+// NewChannelEnvelope builds the sealed channel for a subscriber key.
+func NewChannelEnvelope(k [16]byte) *crypto5g.Envelope {
+	enc, integ := DeriveEnvelopeKeys(k)
+	env, err := crypto5g.NewEnvelope(enc[:], integ[:], 0x1D) // diagnosis bearer tag
+	if err != nil {
+		panic(err) // keys are fixed-size
+	}
+	return env
+}
+
+// --- AUTN fragmentation (downlink, Fig 7a) -----------------------------
+
+// autnFragData is the payload bytes per AUTN fragment: 16 minus the
+// 3-byte fragment header (seq, total, length).
+const autnFragData = 13
+
+// FragmentAUTN splits sealed bytes into AUTN-sized fragments. Each
+// fragment is seq(1) | total(1) | len(1) | data(≤13), zero-padded.
+func FragmentAUTN(sealed []byte) [][16]byte {
+	total := (len(sealed) + autnFragData - 1) / autnFragData
+	if total == 0 {
+		total = 1
+	}
+	if total > 255 {
+		panic(fmt.Sprintf("core: diagnosis payload too large: %d bytes", len(sealed)))
+	}
+	out := make([][16]byte, 0, total)
+	for i := 0; i < total; i++ {
+		var f [16]byte
+		chunk := sealed[i*autnFragData:]
+		if len(chunk) > autnFragData {
+			chunk = chunk[:autnFragData]
+		}
+		f[0] = byte(i)
+		f[1] = byte(total)
+		f[2] = byte(len(chunk))
+		copy(f[3:], chunk)
+		out = append(out, f)
+	}
+	return out
+}
+
+// Reassembler collects fragments back into the sealed payload.
+type Reassembler struct {
+	parts [][]byte
+	total int
+	got   int
+}
+
+// Accept consumes one fragment. It returns the complete payload once all
+// fragments arrived, or nil while incomplete. Out-of-order and duplicate
+// fragments are tolerated; a fragment with a different total resets the
+// assembly (new message preempts a stale partial one).
+func (r *Reassembler) Accept(frag [16]byte) []byte {
+	seq, total, n := int(frag[0]), int(frag[1]), int(frag[2])
+	if total == 0 || seq >= total || n > autnFragData {
+		return nil
+	}
+	if total != r.total {
+		r.parts = make([][]byte, total)
+		r.total = total
+		r.got = 0
+	}
+	if r.parts[seq] == nil {
+		r.parts[seq] = append([]byte(nil), frag[3:3+n]...)
+		r.got++
+	}
+	if r.got < r.total {
+		return nil
+	}
+	var full []byte
+	for _, p := range r.parts {
+		full = append(full, p...)
+	}
+	r.parts = nil
+	r.total = 0
+	r.got = 0
+	return full
+}
+
+// --- DNN fragmentation (uplink, Fig 7b) ---------------------------------
+
+// dnnFragData is the sealed-payload bytes per DNN fragment: the DNN
+// budget (100) minus the "DIAG" prefix, hex-encoded, with a 2-byte header.
+const dnnFragData = (nas.MaxDNNLen-len("DIAG"))/2 - 2 // 46 bytes
+
+// FragmentDNN splits sealed report bytes into DIAG DNN strings.
+func FragmentDNN(sealed []byte) []string {
+	total := (len(sealed) + dnnFragData - 1) / dnnFragData
+	if total == 0 {
+		total = 1
+	}
+	if total > 255 {
+		panic(fmt.Sprintf("core: report too large: %d bytes", len(sealed)))
+	}
+	out := make([]string, 0, total)
+	for i := 0; i < total; i++ {
+		chunk := sealed[i*dnnFragData:]
+		if len(chunk) > dnnFragData {
+			chunk = chunk[:dnnFragData]
+		}
+		frag := append([]byte{byte(i), byte(total)}, chunk...)
+		out = append(out, "DIAG"+hex.EncodeToString(frag))
+	}
+	return out
+}
+
+// DNNReassembler collects uplink DNN fragments per UE.
+type DNNReassembler struct {
+	parts [][]byte
+	total int
+	got   int
+}
+
+// Accept consumes the payload portion of one DIAG DNN (everything after
+// the prefix, still hex). It returns the complete sealed report once all
+// fragments arrived.
+func (r *DNNReassembler) Accept(hexPayload string) ([]byte, error) {
+	raw, err := hex.DecodeString(hexPayload)
+	if err != nil {
+		return nil, fmt.Errorf("core: bad DIAG DNN encoding: %w", err)
+	}
+	if len(raw) < 2 {
+		return nil, fmt.Errorf("core: DIAG DNN fragment too short")
+	}
+	seq, total := int(raw[0]), int(raw[1])
+	if total == 0 || seq >= total {
+		return nil, fmt.Errorf("core: bad DIAG DNN fragment header %d/%d", seq, total)
+	}
+	if total != r.total {
+		r.parts = make([][]byte, total)
+		r.total = total
+		r.got = 0
+	}
+	if r.parts[seq] == nil {
+		r.parts[seq] = append([]byte(nil), raw[2:]...)
+		r.got++
+	}
+	if r.got < r.total {
+		return nil, nil
+	}
+	var full []byte
+	for _, p := range r.parts {
+		full = append(full, p...)
+	}
+	r.parts = nil
+	r.total = 0
+	r.got = 0
+	return full, nil
+}
+
+// DiagAck is the AUTS payload the SIM returns to acknowledge a received
+// diagnosis fragment.
+func DiagAck(seq byte) []byte {
+	return []byte{0x5E, 0xED, seq, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+}
+
+// ParseDiagAck extracts the acknowledged fragment sequence from an AUTS.
+func ParseDiagAck(auts []byte) (byte, bool) {
+	if len(auts) >= 3 && auts[0] == 0x5E && auts[1] == 0xED {
+		return auts[2], true
+	}
+	return 0, false
+}

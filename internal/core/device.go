@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/seed5g/seed/internal/android"
+	"github.com/seed5g/seed/internal/core5g"
+	"github.com/seed5g/seed/internal/dataplane"
+	"github.com/seed5g/seed/internal/modem"
+	"github.com/seed5g/seed/internal/nas"
+	"github.com/seed5g/seed/internal/netemu"
+	"github.com/seed5g/seed/internal/radio"
+	"github.com/seed5g/seed/internal/sched"
+	"github.com/seed5g/seed/internal/sim"
+)
+
+// DeviceMode selects the failure-handling stack on the device.
+type DeviceMode uint8
+
+const (
+	// Legacy is the baseline: stock modem retries + Android ladder only.
+	Legacy DeviceMode = iota + 1
+	// SEEDU installs the SEED applet and carrier app without root.
+	SEEDU
+	// SEEDR additionally grants root (AT command paths).
+	SEEDR
+)
+
+func (m DeviceMode) String() string {
+	switch m {
+	case Legacy:
+		return "legacy"
+	case SEEDU:
+		return "SEED-U"
+	case SEEDR:
+		return "SEED-R"
+	default:
+		return fmt.Sprintf("DeviceMode(%d)", uint8(m))
+	}
+}
+
+// DeviceConfig assembles a device.
+type DeviceConfig struct {
+	IMSI         string
+	Profile      sim.Profile
+	CarrierKey   [16]byte
+	Mode         DeviceMode
+	Modem        modem.Config
+	Android      android.Config
+	Applet       AppletConfig
+	RadioLatency time.Duration
+}
+
+// DefaultDeviceConfig returns a device with standard timers.
+func DefaultDeviceConfig(imsi string, profile sim.Profile, carrierKey [16]byte, mode DeviceMode) DeviceConfig {
+	return DeviceConfig{
+		IMSI:         imsi,
+		Profile:      profile,
+		CarrierKey:   carrierKey,
+		Mode:         mode,
+		Modem:        modem.DefaultConfig(),
+		Android:      android.DefaultConfig(),
+		Applet:       DefaultAppletConfig(),
+		RadioLatency: 8 * time.Millisecond,
+	}
+}
+
+// Device is a complete emulated handset: SIM, modem, Android monitor,
+// carrier app, SEED applet (per mode), app traffic, and the radio link to
+// the network.
+type Device struct {
+	K    *sched.Kernel
+	Cfg  DeviceConfig
+	Card *sim.Card
+	Mdm  *modem.Modem
+	Mon  *android.Monitor
+	CApp *CarrierApp
+	// Applet is nil in Legacy mode.
+	Applet *SEEDApplet
+	Radio  *netemu.Duplex
+	Mux    *dataplane.Mux
+	Apps   map[dataplane.AppKind]*dataplane.App
+
+	// OnConnectivity fires on data-connectivity transitions (any active
+	// session ↔ none) — the signal the disruption trackers hook.
+	OnConnectivity func(up bool)
+	// OnUserNotice receives DISPLAY TEXT notifications.
+	OnUserNotice func(string)
+	// OnReject observes every reject cause the modem sees.
+	OnReject func(epd byte, code uint8)
+	// OnProfileReload fires whenever the modem (re)reads the SIM profile.
+	OnProfileReload func()
+	// OnSessionDown fires with the ID of every session that goes down.
+	OnSessionDown func(id uint8)
+	// OnNAS observes the device's NAS signaling (for tracing).
+	OnNAS func(sent bool, msg nas.Message)
+
+	probeSeq      int
+	pendingProbes map[string]func(bool)
+	connected     bool
+}
+
+// NewDevice builds a device attached to the given network.
+func NewDevice(k *sched.Kernel, cfg DeviceConfig, net *core5g.Network) (*Device, error) {
+	card, err := sim.NewCard(sim.DefaultEEPROM, sim.DefaultRAM, cfg.CarrierKey, cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		K: k, Cfg: cfg, Card: card,
+		Apps:          make(map[dataplane.AppKind]*dataplane.App),
+		Mux:           &dataplane.Mux{},
+		pendingProbes: make(map[string]func(bool)),
+	}
+	d.Radio = netemu.NewDuplex(k, "radio-"+cfg.IMSI, cfg.RadioLatency, nil, nil)
+	d.Mdm = modem.New(k, cfg.Modem, card, d.Radio.A2B.Send)
+	d.Radio.SetHandlers(net.GNB.HandleUplink, d.Mdm.HandleDownlink)
+	net.GNB.AttachUE(cfg.IMSI, d.Radio.B2A.Send)
+
+	d.CApp = NewCarrierApp(k, d.Mdm)
+
+	if cfg.Mode != Legacy {
+		d.Applet = NewApplet(k, card, cfg.Profile.K, cfg.Applet, d.CApp)
+		if err := card.InstallApplet(d.Applet, sim.InstallMAC(cfg.CarrierKey, AppletAID)); err != nil {
+			return nil, err
+		}
+		card.SetAuthObserver(d.Applet.ObserveAuth)
+	}
+
+	d.Mon = android.NewMonitor(k, cfg.Android, android.Hooks{
+		Probe: d.probe,
+		CleanupConnections: func() {
+			// Rung 1: restart transport connections. Apps reconnect on
+			// their own cadence; outstanding requests are abandoned.
+		},
+		Reregister:   d.Mdm.Reattach,
+		RestartModem: d.Mdm.Reboot,
+		OnDataStall: func(reason string) {
+			if cfg.Mode != Legacy {
+				d.CApp.OnDataStall(reason)
+			}
+		},
+	})
+
+	d.Mux.OnUnclaimed = d.onUnclaimedPacket
+	d.Mdm.SetHooks(modem.Hooks{
+		OnSessionUp: d.onSessionUp,
+		OnSessionDown: func(id uint8) {
+			if d.OnSessionDown != nil {
+				d.OnSessionDown(id)
+			}
+			d.recomputeConnectivity()
+		},
+		OnStateChange:  func(modem.State) { d.recomputeConnectivity() },
+		OnDownlinkData: d.Mux.Dispatch,
+		OnDisplayText: func(text string) {
+			if d.OnUserNotice != nil {
+				d.OnUserNotice(text)
+			}
+		},
+		OnReject: func(epd byte, code uint8) {
+			if d.OnReject != nil {
+				d.OnReject(epd, code)
+			}
+		},
+		OnProfileReload: func() {
+			if d.OnProfileReload != nil {
+				d.OnProfileReload()
+			}
+		},
+		OnNAS: func(sent bool, msg nas.Message) {
+			if d.OnNAS != nil {
+				d.OnNAS(sent, msg)
+			}
+		},
+	})
+	d.Mon.SetGate(func() bool { return d.Mdm.State() == modem.StateRegistered })
+	return d, nil
+}
+
+// Start powers the modem on, starts the Android monitor, and (for SEED
+// modes) performs root detection.
+func (d *Device) Start() {
+	d.Mdm.PowerOn()
+	d.Mon.Start()
+	if d.Cfg.Mode == SEEDR {
+		d.CApp.DetectRoot(true)
+	}
+}
+
+// AddApp installs an application traffic emulator on the device.
+func (d *Device) AddApp(kind dataplane.AppKind) *dataplane.App {
+	app := dataplane.NewApp(d.K, dataplane.Spec(kind), d.SendPacket, d.DNSServer)
+	app.AttachMonitor(d.Mon)
+	if d.Cfg.Mode != Legacy {
+		app.AttachReporter(d.CApp.ReportAppFailure)
+	}
+	d.Mux.Register(app)
+	d.Apps[kind] = app
+	return app
+}
+
+// SendPacket transmits an uplink packet on the device's data session.
+func (d *Device) SendPacket(pkt radio.Packet) bool {
+	s, okS := d.dataSession()
+	if !okS {
+		return false
+	}
+	pkt.SessionID = s.ID
+	return d.Mdm.SendPacket(pkt)
+}
+
+// dataSession returns the first active internet-class session (the DIAG
+// placeholder and the IMS voice session do not carry app traffic).
+func (d *Device) dataSession() (*modem.Session, bool) {
+	var best *modem.Session
+	for _, s := range d.Mdm.Sessions() {
+		if s.Active && s.DNN != "DIAG" && s.DNN != "ims" && (best == nil || s.ID < best.ID) {
+			best = s
+		}
+	}
+	return best, best != nil
+}
+
+// DNSServer returns the resolver the device currently uses: the carrier
+// app's override if set, else the session-configured resolver.
+func (d *Device) DNSServer() nas.Addr {
+	if o := d.CApp.DNSOverride(); !o.IsZero() {
+		return o
+	}
+	if s, okS := d.dataSession(); okS && len(s.DNS) > 0 {
+		return s.DNS[0]
+	}
+	return core5g.LDNSAddr
+}
+
+// Connected reports whether the device has an active data session.
+func (d *Device) Connected() bool {
+	_, okS := d.dataSession()
+	return okS
+}
+
+func (d *Device) onSessionUp(s *modem.Session) {
+	d.CApp.NotifySessionUp(s)
+	if d.Cfg.Mode != Legacy && s.DNN != "DIAG" {
+		d.CApp.NotifyValidated()
+	}
+	if s.DNN != "DIAG" {
+		d.Mon.ReportValidated()
+	}
+	d.recomputeConnectivity()
+}
+
+func (d *Device) recomputeConnectivity() {
+	now := d.Connected()
+	if now != d.connected {
+		d.connected = now
+		if d.OnConnectivity != nil {
+			d.OnConnectivity(now)
+		}
+	}
+}
+
+// probe implements the Android captive-portal check as a real packet to
+// the probe server.
+func (d *Device) probe(done func(bool)) {
+	d.probeSeq++
+	flow := fmt.Sprintf("probe-%d", d.probeSeq)
+	pkt := radio.Packet{
+		Proto: nas.ProtoTCP, Dst: [4]byte(dataplane.ProbeServerAddr),
+		SrcPort: uint16(40000 + d.probeSeq%1000), DstPort: 80,
+		Flow: flow, Length: 128,
+	}
+	if !d.SendPacket(pkt) {
+		done(false)
+		return
+	}
+	d.pendingProbes[flow] = done
+}
+
+func (d *Device) onUnclaimedPacket(pkt radio.Packet) {
+	if done, okP := d.pendingProbes[pkt.Flow]; okP {
+		delete(d.pendingProbes, pkt.Flow)
+		done(true)
+	}
+}

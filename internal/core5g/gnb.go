@@ -1,0 +1,168 @@
+package core5g
+
+import (
+	"time"
+
+	"github.com/seed5g/seed/internal/radio"
+	"github.com/seed5g/seed/internal/sched"
+)
+
+// RadioAccess is the downlink interface the core functions use to reach
+// UEs. A single GNB implements it directly; the Cells manager implements
+// it by routing to each UE's serving cell.
+type RadioAccess interface {
+	// SendNAS delivers a downlink NAS message to a UE.
+	SendNAS(imsi string, msg []byte) bool
+	// SendData delivers a downlink user-plane packet.
+	SendData(pkt radio.Packet) bool
+	// AddBearer installs a radio bearer for a UE session.
+	AddBearer(imsi string, sessionID uint8)
+	// RemoveBearer tears down a bearer.
+	RemoveBearer(imsi string, sessionID uint8)
+}
+
+// GNB is the emulated base station. It demuxes uplink frames per UE,
+// relays NAS to the AMF over the backhaul, forwards user-plane packets to
+// the UPF, and tracks radio bearers — releasing the RRC connection (and
+// telling the AMF to drop the UE context) when the *last* data bearer
+// goes away, the behaviour that forces a full control-plane reattach and
+// that SEED's Figure 6 "DIAG session" trick sidesteps.
+type GNB struct {
+	k        *sched.Kernel
+	amf      *AMF
+	upf      *UPF
+	backhaul time.Duration
+
+	ues map[string]*ueRadio
+}
+
+type ueRadio struct {
+	tx        func(any) bool
+	connected bool
+	bearers   map[uint8]bool
+}
+
+// NewGNB creates a gNB with the given one-way backhaul latency to the
+// core. Wire the AMF and UPF with SetCore before delivering traffic.
+func NewGNB(k *sched.Kernel, backhaul time.Duration) *GNB {
+	return &GNB{k: k, backhaul: backhaul, ues: make(map[string]*ueRadio)}
+}
+
+// SetCore wires the core-network functions.
+func (g *GNB) SetCore(amf *AMF, upf *UPF) {
+	g.amf = amf
+	g.upf = upf
+}
+
+// AttachUE registers a UE's downlink transmit function (the device side of
+// its radio link).
+func (g *GNB) AttachUE(imsi string, tx func(any) bool) {
+	g.ues[imsi] = &ueRadio{tx: tx, bearers: make(map[uint8]bool)}
+}
+
+// DetachUE removes a UE from the cell.
+func (g *GNB) DetachUE(imsi string) { delete(g.ues, imsi) }
+
+// HandleUplink processes a frame arriving on the radio interface.
+func (g *GNB) HandleUplink(frame any) {
+	switch f := frame.(type) {
+	case radio.RRCConnect:
+		if ue, okU := g.ues[f.UE]; okU {
+			ue.connected = true
+		}
+	case radio.RRCRelease:
+		if ue, okU := g.ues[f.UE]; okU {
+			ue.connected = false
+		}
+	case radio.UplinkNAS:
+		ue, okU := g.ues[f.UE]
+		if !okU {
+			return
+		}
+		ue.connected = true // NAS implies signalling connection
+		g.k.After(g.backhaul, func() { g.amf.HandleUplinkNAS(f.UE, f.Bytes) })
+	case radio.Packet:
+		ue, okU := g.ues[f.UE]
+		if !okU || !ue.connected || !ue.bearers[f.SessionID] {
+			return // no bearer: user-plane data is dropped
+		}
+		g.k.After(g.backhaul, func() { g.upf.HandleUplink(f) })
+	}
+}
+
+// SendNAS delivers a downlink NAS message to a UE.
+func (g *GNB) SendNAS(imsi string, msg []byte) bool {
+	ue, okU := g.ues[imsi]
+	if !okU {
+		return false
+	}
+	return ue.tx(radio.DownlinkNAS{UE: imsi, Bytes: msg})
+}
+
+// SendData delivers a downlink user-plane packet to a UE. Packets for
+// sessions without a bearer are dropped.
+func (g *GNB) SendData(pkt radio.Packet) bool {
+	ue, okU := g.ues[pkt.UE]
+	if !okU || !ue.bearers[pkt.SessionID] {
+		return false
+	}
+	return ue.tx(pkt)
+}
+
+// AddBearer installs a radio bearer for a UE session.
+func (g *GNB) AddBearer(imsi string, sessionID uint8) {
+	if ue, okU := g.ues[imsi]; okU {
+		ue.bearers[sessionID] = true
+	}
+}
+
+// RemoveBearer tears down a bearer. When it was the UE's last bearer the
+// gNB releases the RRC connection and asks the AMF to drop the UE context
+// — the reattach-forcing behaviour of §4.4.1.
+func (g *GNB) RemoveBearer(imsi string, sessionID uint8) {
+	ue, okU := g.ues[imsi]
+	if !okU {
+		return
+	}
+	delete(ue.bearers, sessionID)
+	if len(ue.bearers) == 0 && ue.connected {
+		ue.connected = false
+		ue.tx(radio.RRCRelease{UE: imsi})
+		g.k.After(g.backhaul, func() { g.amf.DropUEContext(imsi) })
+	}
+}
+
+// Bearers returns the UE's active bearer session IDs.
+func (g *GNB) Bearers(imsi string) []uint8 {
+	ue, okU := g.ues[imsi]
+	if !okU {
+		return nil
+	}
+	out := make([]uint8, 0, len(ue.bearers))
+	for id := range ue.bearers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// setConnected forces the RRC state (used by handover, which keeps the
+// connection alive across cells).
+func (g *GNB) setConnected(imsi string, v bool) {
+	if ue, okU := g.ues[imsi]; okU {
+		ue.connected = v
+	}
+}
+
+// BearerCount returns the number of active bearers for a UE.
+func (g *GNB) BearerCount(imsi string) int {
+	if ue, okU := g.ues[imsi]; okU {
+		return len(ue.bearers)
+	}
+	return 0
+}
+
+// Connected reports whether the UE has an RRC connection.
+func (g *GNB) Connected(imsi string) bool {
+	ue, okU := g.ues[imsi]
+	return okU && ue.connected
+}

@@ -1,0 +1,95 @@
+package core5g
+
+import (
+	"time"
+
+	"github.com/seed5g/seed/internal/cause"
+)
+
+// RejectRule forces the network to reject a UE's procedures with a given
+// standardized (or customized, i.e. unregistered) cause. Rules are how the
+// experiment harness reproduces the failure cases mined from the traces.
+type RejectRule struct {
+	// UE is the target IMSI; empty matches every UE.
+	UE string
+	// Plane selects control-plane (registration/service) or data-plane
+	// (PDU session) procedures.
+	Plane cause.Plane
+	// Cause is the cause code to embed in the reject.
+	Cause cause.Code
+	// Remaining is the number of procedures still to reject; -1 means
+	// until the rule is removed or expires.
+	Remaining int
+	// Until expires the rule at the given virtual time (0 = no expiry).
+	Until time.Duration
+	// Silent drops the procedure instead of rejecting (device timeout).
+	Silent bool
+}
+
+// Injector holds the active failure rules for the network side.
+type Injector struct {
+	now   func() time.Duration
+	rules []*RejectRule
+}
+
+// NewInjector creates an injector that reads virtual time from now.
+func NewInjector(now func() time.Duration) *Injector {
+	return &Injector{now: now}
+}
+
+// Add installs a rule and returns it for later removal.
+func (in *Injector) Add(r *RejectRule) *RejectRule {
+	in.rules = append(in.rules, r)
+	return r
+}
+
+// Remove deletes a rule.
+func (in *Injector) Remove(r *RejectRule) {
+	for i, x := range in.rules {
+		if x == r {
+			in.rules = append(in.rules[:i], in.rules[i+1:]...)
+			return
+		}
+	}
+}
+
+// Clear removes all rules for a UE (empty = all rules).
+func (in *Injector) Clear(ue string) {
+	kept := in.rules[:0]
+	for _, r := range in.rules {
+		if ue != "" && r.UE != ue {
+			kept = append(kept, r)
+		}
+	}
+	in.rules = kept
+}
+
+// Match consumes and returns the first applicable rule for a procedure,
+// or nil. Expired and exhausted rules are pruned as encountered.
+func (in *Injector) Match(ue string, plane cause.Plane) *RejectRule {
+	now := in.now()
+	for i := 0; i < len(in.rules); i++ {
+		r := in.rules[i]
+		if r.Until != 0 && now > r.Until {
+			in.rules = append(in.rules[:i], in.rules[i+1:]...)
+			i--
+			continue
+		}
+		if r.Plane != plane || (r.UE != "" && r.UE != ue) {
+			continue
+		}
+		if r.Remaining == 0 {
+			in.rules = append(in.rules[:i], in.rules[i+1:]...)
+			i--
+			continue
+		}
+		if r.Remaining > 0 {
+			r.Remaining--
+		}
+		return r
+	}
+	return nil
+}
+
+// Active returns the number of live rules.
+func (in *Injector) Active() int { return len(in.rules) }

@@ -1,0 +1,53 @@
+package crypto5g
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// Direction of a protected message, per TS 33.401.
+type Direction uint8
+
+const (
+	// Uplink is device→network.
+	Uplink Direction = 0
+	// Downlink is network→device.
+	Downlink Direction = 1
+)
+
+// EEA2 applies the 128-EEA2 confidentiality algorithm (AES-128 in CTR mode
+// with the TS 33.401 B.1.3 counter block layout) to data in place of a new
+// slice. Encryption and decryption are the same operation.
+//
+// count is the 32-bit NAS COUNT, bearer the 5-bit bearer identity.
+func EEA2(key []byte, count uint32, bearer uint8, dir Direction, data []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("crypto5g: eea2 key: %w", err)
+	}
+	var iv [16]byte
+	binary.BigEndian.PutUint32(iv[0:4], count)
+	iv[4] = bearer<<3 | byte(dir)<<2 // BEARER(5) | DIRECTION(1) | 00
+	out := make([]byte, len(data))
+	cipher.NewCTR(block, iv[:]).XORKeyStream(out, data)
+	return out, nil
+}
+
+// EIA2 computes the 128-EIA2 integrity tag (TS 33.401 B.2.3): AES-CMAC over
+// COUNT || BEARER||DIRECTION || 0-pad || message, truncated to 4 bytes as
+// the standard MAC-I.
+func EIA2(key []byte, count uint32, bearer uint8, dir Direction, msg []byte) ([4]byte, error) {
+	var mac [4]byte
+	m := make([]byte, 8+len(msg))
+	binary.BigEndian.PutUint32(m[0:4], count)
+	m[4] = bearer<<3 | byte(dir)<<2
+	copy(m[8:], msg)
+	tag, err := CMAC(key, m)
+	if err != nil {
+		return mac, err
+	}
+	copy(mac[:], tag[:4])
+	return mac, nil
+}

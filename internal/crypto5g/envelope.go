@@ -1,0 +1,96 @@
+package crypto5g
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Envelope seals and opens SEED's collaboration payloads. Per §6 of the
+// paper, "the information is encrypted with 128-EEA2 and integrity
+// protected with 128-EIA2 using the pre-shared in-SIM key" with a message
+// counter for replay protection. Sealed layout:
+//
+//	COUNTER(4) || CIPHERTEXT(n) || MAC-I(4)
+//
+// The MAC is computed over COUNTER || CIPHERTEXT (encrypt-then-MAC).
+// Both sides keep a monotonically increasing counter per direction; an
+// opened counter must exceed the last accepted one.
+type Envelope struct {
+	encKey  []byte
+	intKey  []byte
+	bearer  uint8
+	sendCtr map[Direction]uint32
+	recvCtr map[Direction]uint32
+}
+
+// ErrIntegrity is returned when a MAC check fails.
+var ErrIntegrity = errors.New("crypto5g: envelope integrity check failed")
+
+// ErrReplay is returned when a counter does not advance.
+var ErrReplay = errors.New("crypto5g: envelope counter replayed or reordered")
+
+// EnvelopeOverhead is the number of bytes Seal adds to a payload.
+const EnvelopeOverhead = 8
+
+// NewEnvelope builds an envelope using the pre-shared in-SIM key material.
+// encKey and intKey must be 16 bytes each (they may be equal; real
+// deployments derive both from K). bearer tags the protected channel.
+func NewEnvelope(encKey, intKey []byte, bearer uint8) (*Envelope, error) {
+	if len(encKey) != 16 || len(intKey) != 16 {
+		return nil, fmt.Errorf("crypto5g: envelope keys must be 16 bytes, got %d and %d", len(encKey), len(intKey))
+	}
+	return &Envelope{
+		encKey:  append([]byte(nil), encKey...),
+		intKey:  append([]byte(nil), intKey...),
+		bearer:  bearer,
+		sendCtr: map[Direction]uint32{},
+		recvCtr: map[Direction]uint32{},
+	}, nil
+}
+
+// Seal encrypts and authenticates plaintext for the given direction,
+// advancing the send counter.
+func (e *Envelope) Seal(dir Direction, plaintext []byte) ([]byte, error) {
+	e.sendCtr[dir]++
+	ctr := e.sendCtr[dir]
+	ct, err := EEA2(e.encKey, ctr, e.bearer, dir, plaintext)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 4+len(ct)+4)
+	binary.BigEndian.PutUint32(out[0:4], ctr)
+	copy(out[4:], ct)
+	mac, err := EIA2(e.intKey, ctr, e.bearer, dir, out[:4+len(ct)])
+	if err != nil {
+		return nil, err
+	}
+	copy(out[4+len(ct):], mac[:])
+	return out, nil
+}
+
+// Open verifies and decrypts a sealed message for the given direction,
+// enforcing counter monotonicity.
+func (e *Envelope) Open(dir Direction, sealed []byte) ([]byte, error) {
+	if len(sealed) < EnvelopeOverhead {
+		return nil, fmt.Errorf("crypto5g: sealed message too short (%d bytes)", len(sealed))
+	}
+	ctr := binary.BigEndian.Uint32(sealed[0:4])
+	body := sealed[4 : len(sealed)-4]
+	mac, err := EIA2(e.intKey, ctr, e.bearer, dir, sealed[:len(sealed)-4])
+	if err != nil {
+		return nil, err
+	}
+	if !ConstantTimeEqual(mac[:], sealed[len(sealed)-4:]) {
+		return nil, ErrIntegrity
+	}
+	if ctr <= e.recvCtr[dir] {
+		return nil, ErrReplay
+	}
+	pt, err := EEA2(e.encKey, ctr, e.bearer, dir, body)
+	if err != nil {
+		return nil, err
+	}
+	e.recvCtr[dir] = ctr
+	return pt, nil
+}

@@ -1,0 +1,152 @@
+package crypto5g
+
+import (
+	"crypto/aes"
+	"fmt"
+)
+
+// Milenage implements the 3GPP authentication and key generation functions
+// f1, f1*, f2, f3, f4, f5 and f5* (TS 35.205/35.206) used by 5G-AKA.
+// The SIM holds K and OPc; the home network (UDM in 5G) holds the same and
+// runs the complementary side.
+type Milenage struct {
+	k   [16]byte
+	opc [16]byte
+}
+
+// NewMilenage builds a Milenage instance from the subscriber key K and the
+// operator code OP (not OPc; OPc is derived as E_K(OP) XOR OP).
+func NewMilenage(k, op []byte) (*Milenage, error) {
+	if len(k) != 16 || len(op) != 16 {
+		return nil, fmt.Errorf("crypto5g: milenage requires 16-byte K and OP, got %d and %d", len(k), len(op))
+	}
+	m := &Milenage{}
+	copy(m.k[:], k)
+	block, err := aes.NewCipher(k)
+	if err != nil {
+		return nil, err
+	}
+	block.Encrypt(m.opc[:], op)
+	for i := range m.opc {
+		m.opc[i] ^= op[i]
+	}
+	return m, nil
+}
+
+// OPc returns the derived operator code.
+func (m *Milenage) OPc() [16]byte { return m.opc }
+
+func (m *Milenage) temp(rand [16]byte) [16]byte {
+	block, _ := aes.NewCipher(m.k[:])
+	var t [16]byte
+	for i := range t {
+		t[i] = rand[i] ^ m.opc[i]
+	}
+	block.Encrypt(t[:], t[:])
+	return t
+}
+
+// rotXorEncrypt computes E_K(rot(temp XOR OPc, rBytes) XOR c) XOR OPc for
+// f2..f5*, where the rotation is a left byte rotation.
+func (m *Milenage) rotXorEncrypt(temp [16]byte, rBytes int, cLast byte) [16]byte {
+	block, _ := aes.NewCipher(m.k[:])
+	var in, out [16]byte
+	for i := range in {
+		in[i] = temp[(i+rBytes)%16] ^ m.opc[(i+rBytes)%16]
+	}
+	in[15] ^= cLast
+	block.Encrypt(out[:], in[:])
+	for i := range out {
+		out[i] ^= m.opc[i]
+	}
+	return out
+}
+
+// F1 computes the network authentication code MAC-A and the
+// resynchronisation code MAC-S for the given RAND, SQN (48-bit) and AMF.
+func (m *Milenage) F1(rand [16]byte, sqn uint64, amf [2]byte) (macA, macS [8]byte) {
+	temp := m.temp(rand)
+	var in1 [16]byte
+	putSQN(in1[0:6], sqn)
+	copy(in1[6:8], amf[:])
+	putSQN(in1[8:14], sqn)
+	copy(in1[14:16], amf[:])
+
+	// OUT1 = E_K(TEMP XOR rot(IN1 XOR OPc, r1) XOR c1) XOR OPc, r1 = 64 bits.
+	const r1 = 8
+	block, _ := aes.NewCipher(m.k[:])
+	var x [16]byte
+	for i := range x {
+		x[i] = temp[i] ^ in1[(i+r1)%16] ^ m.opc[(i+r1)%16]
+	}
+	var out1 [16]byte
+	block.Encrypt(out1[:], x[:])
+	for i := range out1 {
+		out1[i] ^= m.opc[i]
+	}
+	copy(macA[:], out1[0:8])
+	copy(macS[:], out1[8:16])
+	return macA, macS
+}
+
+// F2345 computes RES (f2), CK (f3), IK (f4) and AK (f5) for RAND.
+func (m *Milenage) F2345(rand [16]byte) (res [8]byte, ck, ik [16]byte, ak [6]byte) {
+	temp := m.temp(rand)
+	out2 := m.rotXorEncrypt(temp, 0, 1) // r2 = 0, c2 = ...01
+	out3 := m.rotXorEncrypt(temp, 4, 2) // r3 = 32 bits, c3 = ...02
+	out4 := m.rotXorEncrypt(temp, 8, 4) // r4 = 64 bits, c4 = ...04
+	copy(res[:], out2[8:16])
+	copy(ak[:], out2[0:6])
+	ck = out3
+	ik = out4
+	return
+}
+
+// F5Star computes the resynchronisation anonymity key AK* (f5*).
+func (m *Milenage) F5Star(rand [16]byte) (ak [6]byte) {
+	temp := m.temp(rand)
+	out5 := m.rotXorEncrypt(temp, 12, 8) // r5 = 96 bits, c5 = ...08
+	copy(ak[:], out5[0:6])
+	return
+}
+
+func putSQN(dst []byte, sqn uint64) {
+	dst[0] = byte(sqn >> 40)
+	dst[1] = byte(sqn >> 32)
+	dst[2] = byte(sqn >> 24)
+	dst[3] = byte(sqn >> 16)
+	dst[4] = byte(sqn >> 8)
+	dst[5] = byte(sqn)
+}
+
+// SQNFromBytes decodes a 48-bit sequence number.
+func SQNFromBytes(b []byte) uint64 {
+	return uint64(b[0])<<40 | uint64(b[1])<<32 | uint64(b[2])<<24 |
+		uint64(b[3])<<16 | uint64(b[4])<<8 | uint64(b[5])
+}
+
+// AUTN assembles the authentication token SQN⊕AK || AMF || MAC-A sent in
+// an Authentication Request.
+func AUTN(sqn uint64, ak [6]byte, amf [2]byte, macA [8]byte) [16]byte {
+	var autn [16]byte
+	putSQN(autn[0:6], sqn)
+	for i := 0; i < 6; i++ {
+		autn[i] ^= ak[i]
+	}
+	copy(autn[6:8], amf[:])
+	copy(autn[8:16], macA[:])
+	return autn
+}
+
+// AUTS assembles the resynchronisation token SQN_MS⊕AK* || MAC-S returned
+// by the SIM in an Authentication Failure (Synch failure). SEED reuses this
+// very message as the ACK for diagnosis delivery (Fig 7a).
+func AUTS(sqnMS uint64, akStar [6]byte, macS [8]byte) [14]byte {
+	var auts [14]byte
+	putSQN(auts[0:6], sqnMS)
+	for i := 0; i < 6; i++ {
+		auts[i] ^= akStar[i]
+	}
+	copy(auts[6:14], macS[:])
+	return auts
+}

@@ -1,0 +1,343 @@
+package dataplane
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/seed5g/seed/internal/android"
+	"github.com/seed5g/seed/internal/nas"
+	"github.com/seed5g/seed/internal/radio"
+	"github.com/seed5g/seed/internal/report"
+	"github.com/seed5g/seed/internal/sched"
+)
+
+// AppKind enumerates the five §7.1.2 application profiles.
+type AppKind uint8
+
+const (
+	Video AppKind = iota + 1
+	LiveStream
+	Web
+	Navigation
+	EdgeAR
+)
+
+func (k AppKind) String() string {
+	switch k {
+	case Video:
+		return "video"
+	case LiveStream:
+		return "live-stream"
+	case Web:
+		return "web"
+	case Navigation:
+		return "navigation"
+	case EdgeAR:
+		return "edge-AR"
+	default:
+		return fmt.Sprintf("AppKind(%d)", uint8(k))
+	}
+}
+
+// AppSpec describes an application's traffic pattern.
+type AppSpec struct {
+	Kind     AppKind
+	Interval time.Duration // request cadence
+	Proto    uint8
+	Server   nas.Addr
+	Port     uint16
+	// Buffer is the playback buffer that masks short outages (video ≈30 s,
+	// live ≈3 s, AR none).
+	Buffer time.Duration
+	// NeedsDNS makes the app resolve its server name periodically; its
+	// requests then depend on a fresh-enough resolution.
+	NeedsDNS bool
+	// DNSEvery issues one DNS query per this many requests.
+	DNSEvery int
+	// DNSTTL is how long a resolution stays usable; once it expires with
+	// no fresh answer, requests fail locally as DNS failures.
+	DNSTTL time.Duration
+	// Timeout is the per-request response deadline.
+	Timeout time.Duration
+}
+
+// Spec returns the paper-calibrated profile for an application kind.
+func Spec(kind AppKind) AppSpec {
+	switch kind {
+	case Video:
+		// Segment fetches reuse long-lived connections: no DNS dependence.
+		return AppSpec{Kind: kind, Interval: time.Second, Proto: nas.ProtoTCP,
+			Server: AppServerAddr, Port: 443, Buffer: 30 * time.Second,
+			Timeout: 2 * time.Second}
+	case LiveStream:
+		return AppSpec{Kind: kind, Interval: 500 * time.Millisecond, Proto: nas.ProtoUDP,
+			Server: AppServerAddr, Port: 8801, Buffer: 3 * time.Second,
+			NeedsDNS: true, DNSEvery: 20, DNSTTL: time.Minute, Timeout: time.Second}
+	case Web:
+		// Browsing resolves roughly once a minute (OS cache in front of
+		// per-click lookups), which paces Android's DNS-timeout rule.
+		return AppSpec{Kind: kind, Interval: 5 * time.Second, Proto: nas.ProtoTCP,
+			Server: AppServerAddr, Port: 443, Buffer: 0,
+			NeedsDNS: true, DNSEvery: 20, DNSTTL: 3 * time.Minute, Timeout: 2 * time.Second}
+	case Navigation:
+		return AppSpec{Kind: kind, Interval: 2 * time.Second, Proto: nas.ProtoTCP,
+			Server: AppServerAddr, Port: 443, Buffer: 0,
+			NeedsDNS: false, DNSEvery: 0, Timeout: 2 * time.Second}
+	case EdgeAR:
+		return AppSpec{Kind: kind, Interval: 100 * time.Millisecond, Proto: nas.ProtoUDP,
+			Server: EdgeServerAddr, Port: 9000, Buffer: 0,
+			NeedsDNS: false, DNSEvery: 0, Timeout: 500 * time.Millisecond}
+	default:
+		panic(fmt.Sprintf("dataplane: unknown app kind %d", kind))
+	}
+}
+
+// AppStats counts an app's traffic outcomes.
+type AppStats struct {
+	Requests  int
+	Successes int
+	Failures  int
+	Reports   int
+}
+
+// App is one emulated application generating its traffic pattern over the
+// device's data session.
+type App struct {
+	k    *sched.Kernel
+	spec AppSpec
+
+	// send transmits an uplink packet on the current session; bound by
+	// the testbed. Returns false when no session is active.
+	send func(radio.Packet) bool
+	// dnsServer returns the session's current resolver.
+	dnsServer func() nas.Addr
+
+	monitor  *android.Monitor
+	reporter func(report.FailureReport)
+	// OnSuccess fires on every successful response (harness hook for
+	// disruption measurement).
+	OnSuccess func()
+
+	reportThreshold int
+	lastReport      time.Duration
+	consecReqFails  int
+	consecDNSFails  int
+	reqSeq          int
+	pending         map[string]*sched.Timer
+	ticker          *sched.Ticker
+	lastSuccessAt   time.Duration
+	lastDNSOK       time.Duration
+
+	stats AppStats
+}
+
+// NewApp creates an application bound to the device's send path.
+func NewApp(k *sched.Kernel, spec AppSpec, send func(radio.Packet) bool, dnsServer func() nas.Addr) *App {
+	return &App{
+		k: k, spec: spec, send: send, dnsServer: dnsServer,
+		reportThreshold: 2,
+		pending:         make(map[string]*sched.Timer),
+		lastSuccessAt:   -1,
+	}
+}
+
+// AttachMonitor feeds the app's outcomes into the Android monitor.
+func (a *App) AttachMonitor(m *android.Monitor) { a.monitor = m }
+
+// AttachReporter enables the SEED fast failure-report path.
+func (a *App) AttachReporter(fn func(report.FailureReport)) { a.reporter = fn }
+
+// Stats returns a copy of the counters.
+func (a *App) Stats() AppStats { return a.stats }
+
+// Spec returns the app's traffic profile.
+func (a *App) Spec() AppSpec { return a.spec }
+
+// LastSuccess returns the virtual time of the last successful response
+// (-1 before any).
+func (a *App) LastSuccess() time.Duration { return a.lastSuccessAt }
+
+// Start begins traffic generation. The app starts with a warm DNS cache.
+func (a *App) Start() {
+	if a.ticker != nil {
+		return
+	}
+	a.lastDNSOK = a.k.Now()
+	a.ticker = a.k.Every(a.spec.Interval, a.cycle)
+}
+
+// Stop halts traffic generation and cancels outstanding requests.
+func (a *App) Stop() {
+	if a.ticker == nil {
+		return
+	}
+	a.ticker.Stop()
+	a.ticker = nil
+	for id, t := range a.pending {
+		t.Stop()
+		delete(a.pending, id)
+	}
+}
+
+func (a *App) cycle() {
+	a.reqSeq++
+	if a.spec.NeedsDNS && a.spec.DNSEvery > 0 && a.reqSeq%a.spec.DNSEvery == 0 {
+		a.sendDNSQuery()
+	}
+	// A DNS-dependent app cannot issue requests once its resolution has
+	// gone stale with no fresh answer.
+	if a.spec.NeedsDNS && a.spec.DNSTTL > 0 && a.k.Now()-a.lastDNSOK > a.spec.DNSTTL {
+		a.stats.Requests++
+		a.stats.Failures++
+		a.consecReqFails++
+		a.maybeReport(true) // the app knows resolution is what failed
+		return
+	}
+	a.sendRequest()
+}
+
+func (a *App) flowID(kind string) string {
+	return fmt.Sprintf("%s-%s-%d", a.spec.Kind, kind, a.reqSeq)
+}
+
+func (a *App) sendRequest() {
+	a.stats.Requests++
+	id := a.flowID("req")
+	pkt := radio.Packet{
+		Proto: a.spec.Proto, Dst: [4]byte(a.spec.Server),
+		SrcPort: uint16(20000 + a.reqSeq%20000), DstPort: a.spec.Port,
+		Flow: id, Length: 600,
+	}
+	sent := a.send(pkt)
+	if a.monitor != nil && sent {
+		a.monitor.NotePacket(true)
+	}
+	if !sent {
+		// No session: counts as an immediate transport failure.
+		a.requestFailed(id, false)
+		return
+	}
+	a.pending[id] = a.k.After(a.spec.Timeout, func() { a.requestFailed(id, false) })
+}
+
+func (a *App) sendDNSQuery() {
+	id := a.flowID("dns")
+	pkt := radio.Packet{
+		Proto: nas.ProtoUDP, Dst: [4]byte(a.dnsServer()),
+		SrcPort: uint16(30000 + a.reqSeq%20000), DstPort: 53,
+		Flow: id, Length: 64, Meta: "app.example.com",
+	}
+	if !a.send(pkt) {
+		a.requestFailed(id, true)
+		return
+	}
+	a.pending[id] = a.k.After(a.spec.Timeout, func() { a.requestFailed(id, true) })
+}
+
+// HandleDownlink consumes a downlink packet belonging to this app's flows.
+// It reports whether the packet was recognized.
+func (a *App) HandleDownlink(pkt radio.Packet) bool {
+	t, okP := a.pending[pkt.Flow]
+	if !okP {
+		return false
+	}
+	t.Stop()
+	delete(a.pending, pkt.Flow)
+	isDNS := len(pkt.Meta) >= 10 && pkt.Meta[:10] == "dns-answer"
+	a.stats.Successes++
+	if isDNS {
+		a.consecDNSFails = 0
+	} else {
+		a.consecReqFails = 0
+	}
+	if isDNS {
+		a.lastDNSOK = a.k.Now()
+	}
+	if a.monitor != nil {
+		a.monitor.NotePacket(false)
+		if isDNS {
+			a.monitor.NoteDNSOutcome(true)
+		} else if a.spec.Proto == nas.ProtoTCP {
+			a.monitor.NoteTCPOutcome(true)
+		}
+	}
+	if !isDNS {
+		// Only application payload counts as app-level success; a DNS
+		// answer alone does not un-stall the app.
+		a.lastSuccessAt = a.k.Now()
+		if a.OnSuccess != nil {
+			a.OnSuccess()
+		}
+	}
+	return true
+}
+
+func (a *App) requestFailed(id string, wasDNS bool) {
+	delete(a.pending, id)
+	a.stats.Failures++
+	if wasDNS {
+		a.consecDNSFails++
+	} else {
+		a.consecReqFails++
+	}
+	if a.monitor != nil {
+		if wasDNS {
+			a.monitor.NoteDNSOutcome(false)
+		} else if a.spec.Proto == nas.ProtoTCP {
+			a.monitor.NoteTCPOutcome(false)
+		}
+		// Android has no UDP rule: non-DNS UDP failures are invisible.
+	}
+	a.maybeReport(wasDNS)
+}
+
+func (a *App) maybeReport(wasDNS bool) {
+	fails := a.consecReqFails
+	if wasDNS {
+		fails = a.consecDNSFails
+	}
+	if a.reporter == nil || fails < a.reportThreshold {
+		return
+	}
+	now := a.k.Now()
+	if a.lastReport != 0 && now-a.lastReport < time.Second {
+		return
+	}
+	a.lastReport = now
+	a.stats.Reports++
+	var r report.FailureReport
+	switch {
+	case wasDNS:
+		r = report.FailureReport{Type: report.FailDNS, Direction: report.DirBoth, Domain: "app.example.com"}
+	case a.spec.Proto == nas.ProtoUDP:
+		r = report.FailureReport{Type: report.FailUDP, Direction: report.DirBoth,
+			Addr: [4]byte(a.spec.Server), Port: a.spec.Port}
+	default:
+		r = report.FailureReport{Type: report.FailTCP, Direction: report.DirBoth,
+			Addr: [4]byte(a.spec.Server), Port: a.spec.Port}
+	}
+	a.reporter(r)
+}
+
+// Mux dispatches downlink packets to the apps owning their flows.
+type Mux struct {
+	apps []*App
+	// OnUnclaimed receives packets no app recognized (e.g. probe
+	// responses owned by the Android monitor).
+	OnUnclaimed func(radio.Packet)
+}
+
+// Register adds an app to the mux.
+func (m *Mux) Register(a *App) { m.apps = append(m.apps, a) }
+
+// Dispatch routes one downlink packet.
+func (m *Mux) Dispatch(pkt radio.Packet) {
+	for _, a := range m.apps {
+		if a.HandleDownlink(pkt) {
+			return
+		}
+	}
+	if m.OnUnclaimed != nil {
+		m.OnUnclaimed(pkt)
+	}
+}

@@ -1,0 +1,171 @@
+// Package metrics provides the measurement helpers the evaluation uses:
+// a disruption tracker (time from failure onset to service recovery),
+// percentile/CDF summaries for the tables and figures, and the analytic
+// battery and CPU models that replace the physical power and load
+// measurements of §7.2.1.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Series is a collection of duration samples.
+type Series struct {
+	name    string
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewSeries creates a named sample series.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// Add appends a sample.
+func (s *Series) Add(d time.Duration) {
+	s.samples = append(s.samples, d)
+	s.sorted = false
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+func (s *Series) sort() {
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank. It returns 0 for an empty series.
+func (s *Series) Percentile(p float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	rank := int(p/100*float64(len(s.samples))+0.9999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s.samples) {
+		rank = len(s.samples) - 1
+	}
+	return s.samples[rank]
+}
+
+// Median returns the 50th percentile.
+func (s *Series) Median() time.Duration { return s.Percentile(50) }
+
+// Mean returns the arithmetic mean.
+func (s *Series) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(s.samples))
+}
+
+// Max returns the largest sample.
+func (s *Series) Max() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[len(s.samples)-1]
+}
+
+// FractionBelow returns the fraction of samples strictly below d.
+func (s *Series) FractionBelow(d time.Duration) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	i := sort.Search(len(s.samples), func(i int) bool { return s.samples[i] >= d })
+	return float64(i) / float64(len(s.samples))
+}
+
+// CDF returns (x, F(x)) pairs at each distinct sample, suitable for
+// plotting Figure 2/3-style curves.
+func (s *Series) CDF() []CDFPoint {
+	if len(s.samples) == 0 {
+		return nil
+	}
+	s.sort()
+	var out []CDFPoint
+	n := float64(len(s.samples))
+	for i, d := range s.samples {
+		if i+1 < len(s.samples) && s.samples[i+1] == d {
+			continue
+		}
+		out = append(out, CDFPoint{X: d, F: float64(i+1) / n})
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X time.Duration
+	F float64
+}
+
+// Summary formats median/90th/mean in seconds.
+func (s *Series) Summary() string {
+	return fmt.Sprintf("%s: n=%d median=%.1fs p90=%.1fs mean=%.1fs",
+		s.name, s.Len(), s.Median().Seconds(), s.Percentile(90).Seconds(), s.Mean().Seconds())
+}
+
+// Disruption tracks service-outage intervals on the virtual clock: Start
+// marks failure onset, End marks recovery, and each closed interval is
+// added to the series.
+type Disruption struct {
+	Series  *Series
+	now     func() time.Duration
+	started time.Duration
+	open    bool
+}
+
+// NewDisruption creates a tracker reading virtual time from now.
+func NewDisruption(name string, now func() time.Duration) *Disruption {
+	return &Disruption{Series: NewSeries(name), now: now}
+}
+
+// Start marks failure onset. A second Start while open is ignored (the
+// first onset dominates the user-perceived outage).
+func (d *Disruption) Start() {
+	if d.open {
+		return
+	}
+	d.open = true
+	d.started = d.now()
+}
+
+// End marks recovery, recording the closed interval. Without a matching
+// Start it is a no-op.
+func (d *Disruption) End() {
+	if !d.open {
+		return
+	}
+	d.open = false
+	d.Series.Add(d.now() - d.started)
+}
+
+// Open reports whether a disruption is in progress.
+func (d *Disruption) Open() bool { return d.open }
+
+// Abort closes an open interval without recording it.
+func (d *Disruption) Abort() { d.open = false }
+
+// OpenDuration returns the elapsed time of the open interval.
+func (d *Disruption) OpenDuration() time.Duration {
+	if !d.open {
+		return 0
+	}
+	return d.now() - d.started
+}

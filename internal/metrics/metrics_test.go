@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func secs(vs ...float64) *Series {
+	s := NewSeries("t")
+	for _, v := range vs {
+		s.Add(time.Duration(v * float64(time.Second)))
+	}
+	return s
+}
+
+func TestPercentiles(t *testing.T) {
+	s := secs(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	if got := s.Median(); got != 5*time.Second {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Percentile(90); got != 9*time.Second {
+		t.Fatalf("p90 = %v", got)
+	}
+	if got := s.Percentile(100); got != 10*time.Second {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.Percentile(1); got != time.Second {
+		t.Fatalf("p1 = %v", got)
+	}
+	if got := s.Max(); got != 10*time.Second {
+		t.Fatalf("max = %v", got)
+	}
+	if got := s.Mean(); got != 5500*time.Millisecond {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := NewSeries("empty")
+	if s.Median() != 0 || s.Mean() != 0 || s.Max() != 0 || s.FractionBelow(time.Hour) != 0 {
+		t.Fatal("empty series should return zeros")
+	}
+	if s.CDF() != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	s := secs(1, 2, 3, 4)
+	if got := s.FractionBelow(3 * time.Second); got != 0.5 {
+		t.Fatalf("FractionBelow(3s) = %v", got)
+	}
+	if got := s.FractionBelow(100 * time.Second); got != 1 {
+		t.Fatalf("FractionBelow(100s) = %v", got)
+	}
+	if got := s.FractionBelow(time.Second); got != 0 {
+		t.Fatalf("FractionBelow(1s) = %v", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	s := secs(1, 1, 2, 4)
+	pts := s.CDF()
+	want := []CDFPoint{
+		{time.Second, 0.5},
+		{2 * time.Second, 0.75},
+		{4 * time.Second, 1.0},
+	}
+	if len(pts) != len(want) {
+		t.Fatalf("CDF = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("CDF[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestDisruptionTracker(t *testing.T) {
+	now := time.Duration(0)
+	d := NewDisruption("x", func() time.Duration { return now })
+	d.Start()
+	if !d.Open() {
+		t.Fatal("not open after Start")
+	}
+	now = 5 * time.Second
+	if d.OpenDuration() != 5*time.Second {
+		t.Fatalf("open duration = %v", d.OpenDuration())
+	}
+	// Nested Start is ignored: first onset dominates.
+	d.Start()
+	now = 8 * time.Second
+	d.End()
+	if d.Open() {
+		t.Fatal("still open after End")
+	}
+	if d.Series.Len() != 1 || d.Series.Max() != 8*time.Second {
+		t.Fatalf("recorded %v", d.Series.Max())
+	}
+	// End without Start is a no-op.
+	d.End()
+	if d.Series.Len() != 1 {
+		t.Fatal("spurious sample")
+	}
+	// Abort discards.
+	d.Start()
+	now = 20 * time.Second
+	d.Abort()
+	if d.Series.Len() != 1 || d.Open() {
+		t.Fatal("abort recorded a sample")
+	}
+	if d.OpenDuration() != 0 {
+		t.Fatal("OpenDuration nonzero while closed")
+	}
+}
+
+func TestBatteryModelReproducesPaperNumbers(t *testing.T) {
+	m := DefaultBatteryModel()
+	elapsed := 30 * time.Minute
+
+	baseline := m.Drain(elapsed, 0, 0)
+	if math.Abs(baseline-5.4) > 0.01 {
+		t.Fatalf("baseline 30-min drain = %.2f%%, want 5.4%%", baseline)
+	}
+	// SEED stress test: 1 diagnosis/s for 30 min.
+	seed := m.Drain(elapsed, 1800, 0)
+	if over := seed - baseline; math.Abs(over-1.2) > 0.15 {
+		t.Fatalf("SEED overhead = %.2f%%, want ≈1.2%%", over)
+	}
+	// MobileInsight: continuous diag-port decoding (~100 msg/s).
+	mi := m.Drain(elapsed, 0, 100*1800)
+	if over := mi - baseline; math.Abs(over-8.5) > 0.5 {
+		t.Fatalf("MobileInsight overhead = %.2f%%, want ≈8.5%%", over)
+	}
+}
+
+func TestCPUModelShape(t *testing.T) {
+	m := DefaultCPUModel()
+	attachRate := 200.0 // 200 emulated UEs cycling
+	base := m.Utilization(attachRate, 0, false)
+	if base < 25 || base > 40 {
+		t.Fatalf("baseline floor = %.1f%%, want ≈30%%", base)
+	}
+	at100 := m.Utilization(attachRate, 100, false)
+	seedAt100 := m.Utilization(attachRate, 100, true)
+	over := seedAt100 - at100
+	if math.Abs(over-4.7) > 0.3 {
+		t.Fatalf("SEED CPU overhead at 100 failures/s = %.2f%%, want ≈4.7%%", over)
+	}
+	// Monotone in failure rate, capped at 100.
+	if m.Utilization(attachRate, 50, true) >= seedAt100 {
+		t.Fatal("utilization not increasing in failure rate")
+	}
+	if m.Utilization(1e6, 1e6, true) != 100 {
+		t.Fatal("utilization not capped at 100")
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by [min, max].
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSeries("p")
+		for _, v := range raw {
+			s.Add(time.Duration(v))
+		}
+		sorted := append([]uint32(nil), raw...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		prev := time.Duration(-1)
+		for p := 1.0; p <= 100; p += 7 {
+			v := s.Percentile(p)
+			if v < prev || v < time.Duration(sorted[0]) || v > time.Duration(sorted[len(sorted)-1]) {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

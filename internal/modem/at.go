@@ -1,0 +1,152 @@
+package modem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/seed5g/seed/internal/nas"
+)
+
+// Execute runs a TS 27.007 AT command line (Appendix B of the paper lists
+// the set SEED-R uses) and returns the final result line. Commands take
+// effect on the modem's virtual-time state machine immediately; their
+// protocol consequences (reattach, session reset) then play out on the
+// kernel.
+func (m *Modem) Execute(line string) (string, error) {
+	m.stats.ATCommands++
+	cmd := strings.TrimSpace(line)
+	upper := strings.ToUpper(cmd)
+	switch {
+	case upper == "AT":
+		return "OK", nil
+
+	case strings.HasPrefix(upper, "AT+CFUN="):
+		return m.atCFUN(cmd[len("AT+CFUN="):])
+
+	case strings.HasPrefix(upper, "AT+COPS="):
+		// PLMN selection: 0 = automatic. Triggers a (re)search when idle.
+		if m.state == StateDeregistered {
+			m.search()
+		}
+		return "OK", nil
+
+	case strings.HasPrefix(upper, "AT+CGATT="), upper == "AT+CGATT?":
+		return m.atCGATT(cmd)
+
+	case strings.HasPrefix(upper, "AT+CGDCONT="):
+		return m.atCGDCONT(cmd[len("AT+CGDCONT="):])
+
+	case strings.HasPrefix(upper, "AT+CGACT="):
+		return m.atCGACT(cmd[len("AT+CGACT="):])
+
+	default:
+		return "", fmt.Errorf("modem: unsupported AT command %q", line)
+	}
+}
+
+// atCFUN implements AT+CFUN: 0 = minimum functionality (off), 1 = full
+// functionality, "1,1" = reset then full functionality (modem reboot).
+func (m *Modem) atCFUN(args string) (string, error) {
+	switch strings.ReplaceAll(args, " ", "") {
+	case "0":
+		m.PowerOff()
+		return "OK", nil
+	case "1":
+		if m.state == StateOff {
+			m.PowerOn()
+		}
+		return "OK", nil
+	case "1,1":
+		if m.state == StateOff {
+			m.PowerOn()
+		} else {
+			m.Reboot()
+		}
+		return "OK", nil
+	default:
+		return "", fmt.Errorf("modem: AT+CFUN bad args %q", args)
+	}
+}
+
+func (m *Modem) atCGATT(cmd string) (string, error) {
+	if strings.HasSuffix(cmd, "?") {
+		if m.state == StateRegistered {
+			return "+CGATT: 1", nil
+		}
+		return "+CGATT: 0", nil
+	}
+	arg := strings.TrimPrefix(strings.ToUpper(cmd), "AT+CGATT=")
+	switch strings.TrimSpace(arg) {
+	case "0":
+		m.Deregister()
+		return "OK", nil
+	case "1":
+		switch m.state {
+		case StateDeregistered:
+			m.regAttempts = 0
+			m.Attach()
+		case StateRegistered:
+			// already attached: the SEED-R reattach path is CGATT=0 then 1.
+		}
+		return "OK", nil
+	default:
+		return "", fmt.Errorf("modem: AT+CGATT bad args %q", arg)
+	}
+}
+
+// atCGDCONT implements AT+CGDCONT=<cid>,"<type>","<dnn>": it updates the
+// modem's cached session configuration (the DNN used for the next
+// establishment), which is how SEED-R repairs an outdated APN.
+func (m *Modem) atCGDCONT(args string) (string, error) {
+	parts := splitATArgs(args)
+	if len(parts) < 3 {
+		return "", fmt.Errorf("modem: AT+CGDCONT needs cid,type,apn: %q", args)
+	}
+	if _, err := strconv.Atoi(parts[0]); err != nil {
+		return "", fmt.Errorf("modem: AT+CGDCONT bad cid %q", parts[0])
+	}
+	dnn := parts[2]
+	if !nas.ValidDNN(dnn) {
+		return "", fmt.Errorf("modem: AT+CGDCONT invalid DNN %q", dnn)
+	}
+	m.profile.DNN = dnn
+	return "OK", nil
+}
+
+// atCGACT implements AT+CGACT=<state>,<cid>: activate/deactivate the PDU
+// session with the given local ID (SEED B3 data-plane reset).
+func (m *Modem) atCGACT(args string) (string, error) {
+	parts := splitATArgs(args)
+	if len(parts) != 2 {
+		return "", fmt.Errorf("modem: AT+CGACT needs state,cid: %q", args)
+	}
+	state, err1 := strconv.Atoi(parts[0])
+	cid64, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || cid64 < 0 || cid64 > 255 {
+		return "", fmt.Errorf("modem: AT+CGACT bad args %q", args)
+	}
+	cid := uint8(cid64)
+	switch state {
+	case 0:
+		m.ReleaseSession(cid)
+		return "OK", nil
+	case 1:
+		if m.state != StateRegistered {
+			return "", fmt.Errorf("modem: AT+CGACT=1 while not registered")
+		}
+		m.EstablishSession(m.profile.DNN, nas.SessionIPv4)
+		return "OK", nil
+	default:
+		return "", fmt.Errorf("modem: AT+CGACT bad state %d", state)
+	}
+}
+
+// splitATArgs splits a comma-separated AT argument list, stripping quotes.
+func splitATArgs(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.Trim(strings.TrimSpace(parts[i]), `"`)
+	}
+	return parts
+}

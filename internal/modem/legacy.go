@@ -1,0 +1,110 @@
+package modem
+
+import (
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/nas"
+)
+
+// This file implements the legacy failure handling the paper measures in
+// §3.2: the modem obtains standardized causes from reject messages but
+// does not use them for diagnosis. It either aborts or retries blindly on
+// timers, resending outdated identities and configurations, which produces
+// the repeated failures and long disruptions of Figure 2.
+
+func (m *Modem) onT3510Expiry() {
+	if m.state != StateRegistering {
+		return
+	}
+	m.legacyRegistrationFailure(0) // timeout: no cause available
+}
+
+func (m *Modem) handleRegistrationReject(rej *nas.RegistrationReject) {
+	m.cancelRegTimer()
+	m.reportReject(nas.EPD5GMM, uint8(rej.Cause))
+	m.legacyRegistrationFailure(uint8(rej.Cause))
+}
+
+// legacyRegistrationFailure schedules the blind retry. The only cause
+// sensitivity real modems exhibit is the abnormal-case immediate retry for
+// transient conditions; everything else waits T3511, and after
+// MaxRegAttempts the long T3502 backoff kicks in (TS 24.501 §5.5.1.2.7).
+func (m *Modem) legacyRegistrationFailure(code uint8) {
+	if m.state == StateOff || m.state == StateBooting {
+		return
+	}
+	m.setState(StateDeregistered)
+	m.regAttempts++
+
+	if m.regAttempts > m.cfg.MaxRegAttempts {
+		// Attempt counter exhausted: wait T3502, then start over. The
+		// spec-compliant path also invalidates the GUTI here, which is
+		// what finally unsticks identity-desync failures.
+		m.regAttempts = 0
+		if m.specIdentityFallback {
+			m.guti = ""
+		}
+		m.regTimer = m.k.After(m.cfg.T3502, func() {
+			// After the long backoff the modem starts from scratch: stale
+			// GUTI dropped and the SIM profile re-read before the fresh
+			// attempt (TS 24.501 §5.3.7 equivalent-fresh-attach).
+			m.guti = ""
+			m.refreshProfile(nil)
+			m.Attach()
+		})
+		return
+	}
+
+	wait := m.cfg.T3511
+	if info, okc := cause.Lookup(cause.MM(cause.Code(code))); okc && info.Transient {
+		wait = m.cfg.TransientRetryWait
+	}
+	m.regTimer = m.k.After(wait, func() { m.Attach() })
+}
+
+func (m *Modem) onT3580Expiry(id uint8) {
+	s, okS := m.sessions[id]
+	if !okS || s.Active {
+		return
+	}
+	m.legacySessionFailure(s, 0)
+}
+
+func (m *Modem) handleSessionReject(rej *nas.PDUSessionEstablishmentReject) {
+	s, okS := m.sessions[rej.PDUSessionID]
+	if !okS {
+		return
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	m.reportReject(nas.EPD5GSM, uint8(rej.Cause))
+	// The reject may carry a suggested DNN (SEED infra extension); the
+	// legacy modem ignores it, as §3.2 observes.
+	m.legacySessionFailure(s, uint8(rej.Cause))
+}
+
+// legacySessionFailure retries session establishment with the *same*
+// cached DNN (the outdated-APN loop of §3.2), escalating to a full
+// reattach after MaxSessAttempts — which still reuses the stale DNN, so
+// config-related failures repeat until something reloads the modem.
+func (m *Modem) legacySessionFailure(s *Session, code uint8) {
+	s.attempts++
+	if s.attempts > m.cfg.MaxSessAttempts {
+		s.attempts = 0
+		delete(m.sessions, s.ID)
+		// Escalate: reattach, which re-runs registration and then
+		// re-establishes the default session from the cached profile.
+		m.Reattach()
+		return
+	}
+	wait := m.cfg.T3580
+	if info, okc := cause.Lookup(cause.SM(cause.Code(code))); okc && info.Transient {
+		wait = m.cfg.TransientRetryWait
+	}
+	s.timer = m.k.After(wait, func() {
+		if m.state == StateRegistered {
+			m.sendSessionRequest(s)
+		}
+	})
+}

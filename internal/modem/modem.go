@@ -1,0 +1,839 @@
+// Package modem emulates a 5G baseband: the 5GMM registration and 5GSM
+// session state machines of TS 24.501 with their standard timers (T3510,
+// T3511, T3502, T3580), the SIM interface (profile load, AKA, proactive
+// command fetch), the TS 27.007 AT command set used by SEED-R, and —
+// crucially for the paper's baseline — the *legacy* failure handling of
+// §3.2: blind timer-based retries that ignore the standardized cause codes
+// carried by reject messages and keep resending outdated configuration.
+package modem
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/seed5g/seed/internal/crypto5g"
+	"github.com/seed5g/seed/internal/nas"
+	"github.com/seed5g/seed/internal/radio"
+	"github.com/seed5g/seed/internal/sched"
+	"github.com/seed5g/seed/internal/sim"
+)
+
+// State is the 5GMM registration state.
+type State uint8
+
+const (
+	StateOff State = iota
+	StateBooting
+	StateSearching
+	StateDeregistered
+	StateRegistering
+	StateRegistered
+)
+
+func (s State) String() string {
+	switch s {
+	case StateOff:
+		return "OFF"
+	case StateBooting:
+		return "BOOTING"
+	case StateSearching:
+		return "SEARCHING"
+	case StateDeregistered:
+		return "DEREGISTERED"
+	case StateRegistering:
+		return "REGISTERING"
+	case StateRegistered:
+		return "REGISTERED"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Session is a PDU session context held by the modem. The DNN here is the
+// modem's *cached* session configuration — the cache whose staleness
+// relative to the SIM profile and the subscription database produces the
+// repeated data-plane failures of §3.2.
+type Session struct {
+	ID      uint8
+	DNN     string
+	Type    nas.PDUSessionType
+	Address nas.Addr
+	DNS     []nas.Addr
+	TFT     nas.TFT
+	QoS     nas.QoS
+	Active  bool
+
+	pti      uint8
+	attempts int
+	timer    *sched.Timer
+}
+
+// Config holds the modem's timer and behaviour knobs. Defaults follow the
+// 3GPP standard values the paper cites.
+type Config struct {
+	T3510 time.Duration // registration procedure guard (15 s)
+	T3511 time.Duration // retry backoff after failure (10 s)
+	T3502 time.Duration // long backoff after 5 attempts (12 min)
+	T3580 time.Duration // PDU session procedure guard/backoff (16 s)
+
+	MaxRegAttempts  int // attempts before falling back to T3502
+	MaxSessAttempts int // attempts before escalating to reattach
+
+	BootTime           time.Duration // power-cycle duration
+	FullSearchTime     time.Duration // PLMN scan without a fresh list
+	ListSearchTime     time.Duration // PLMN scan with a fresh preferred list
+	RefreshInitTime    time.Duration // SIM re-initialization on REFRESH(init)
+	SIMIOLatency       time.Duration // one APDU exchange
+	TransientRetryWait time.Duration // immediate-retry backoff for abnormal cases
+	// InactivityTimeout moves the RRC connection to idle after this long
+	// without user-plane traffic; the next packet pays a Service Request
+	// round trip to resume (0 disables idle mode).
+	InactivityTimeout time.Duration
+}
+
+// DefaultConfig returns the standard-timer configuration.
+func DefaultConfig() Config {
+	return Config{
+		T3510:              15 * time.Second,
+		T3511:              10 * time.Second,
+		T3502:              12 * time.Minute,
+		T3580:              16 * time.Second,
+		MaxRegAttempts:     5,
+		MaxSessAttempts:    5,
+		BootTime:           800 * time.Millisecond,
+		FullSearchTime:     9 * time.Second,
+		ListSearchTime:     300 * time.Millisecond,
+		RefreshInitTime:    3500 * time.Millisecond,
+		SIMIOLatency:       10 * time.Millisecond,
+		TransientRetryWait: 500 * time.Millisecond,
+		InactivityTimeout:  30 * time.Second,
+	}
+}
+
+// Hooks are the modem's upcall interface to the OS/apps/metrics layers.
+// Any field may be nil.
+type Hooks struct {
+	OnStateChange   func(State)
+	OnSessionUp     func(*Session)
+	OnSessionDown   func(id uint8)
+	OnDownlinkData  func(radio.Packet)
+	OnDisplayText   func(string)
+	OnReject        func(epd byte, code uint8) // every reject cause seen (legacy ignores it)
+	OnProfileReload func()
+	// OnNAS observes every NAS message the modem sends or receives
+	// (after decryption), for tracing tools.
+	OnNAS func(sent bool, msg nas.Message)
+}
+
+// Modem is the emulated baseband processor.
+type Modem struct {
+	k    *sched.Kernel
+	cfg  Config
+	card *sim.Card
+	tx   func(any) bool // radio uplink
+	hook Hooks
+
+	state   State
+	imsi    string
+	guti    string // assigned temporary identity ("" = none)
+	profile sim.Profile
+
+	// plmnListFresh marks whether the preferred-PLMN list read from the
+	// SIM covers the serving network (accelerates search, SEED A2).
+	plmnListFresh bool
+
+	sessions    map[uint8]*Session
+	nextSession uint8
+	nextPTI     uint8
+
+	regAttempts int
+	regTimer    *sched.Timer // T3510/T3511/T3502 (one at a time)
+
+	// NAS security: sec is the active context; lastIK holds the key from
+	// the most recent AKA run so a fresh context can be adopted at the
+	// Security Mode boundary.
+	sec    *nas.SecurityContext
+	lastIK [16]byte
+	hasIK  bool
+
+	// RRC connection state: idle mode suspends the user plane after
+	// inactivity; a Service Request resumes it on the next packet.
+	rrcConnected bool
+	resuming     bool
+	idleTimer    *sched.Timer
+	pendingPkts  []radio.Packet
+
+	// specIdentityFallback, when true, clears the GUTI after repeated
+	// identity-related failures as the spec mandates; false reproduces
+	// the observed buggy behaviour the paper measured.
+	specIdentityFallback bool
+
+	autoSession bool // establish the default session right after attach
+
+	stats Stats
+}
+
+// Stats counts modem activity for the overhead models.
+type Stats struct {
+	NASSent         int
+	NASReceived     int
+	Reboots         int
+	Attaches        int
+	PacketsUp       int
+	PacketsDown     int
+	ATCommands      int
+	ServiceRequests int
+	IdleTransitions int
+}
+
+// New creates a modem bound to the kernel, SIM card, and radio transmit
+// function. The transmit function reports whether the frame was accepted
+// (false models a partitioned radio link).
+func New(k *sched.Kernel, cfg Config, card *sim.Card, tx func(any) bool) *Modem {
+	m := &Modem{
+		k: k, cfg: cfg, card: card, tx: tx,
+		state:       StateOff,
+		sessions:    make(map[uint8]*Session),
+		nextSession: 1,
+		nextPTI:     1,
+		autoSession: true,
+	}
+	card.OnProactive(func() {
+		// Fetch after one SIM I/O round trip.
+		k.After(cfg.SIMIOLatency, m.fetchProactive)
+	})
+	return m
+}
+
+// SetHooks installs the upcall hooks.
+func (m *Modem) SetHooks(h Hooks) { m.hook = h }
+
+// State returns the current 5GMM state.
+func (m *Modem) State() State { return m.state }
+
+// Stats returns a copy of the activity counters.
+func (m *Modem) Stats() Stats { return m.stats }
+
+// IMSI returns the subscriber identity read from the SIM.
+func (m *Modem) IMSI() string { return m.imsi }
+
+// Profile returns the modem's cached copy of the SIM profile.
+func (m *Modem) Profile() sim.Profile { return m.profile }
+
+// SetAutoSession controls whether the modem establishes the default data
+// session automatically after registration (on by default).
+func (m *Modem) SetAutoSession(v bool) { m.autoSession = v }
+
+// SetSpecIdentityFallback toggles spec-compliant GUTI invalidation after
+// identity failures (off by default to reproduce the measured behaviour).
+func (m *Modem) SetSpecIdentityFallback(v bool) { m.specIdentityFallback = v }
+
+// Sessions returns the session list in ascending ID order (stable
+// ordering keeps the whole simulation deterministic across process runs).
+func (m *Modem) Sessions() []*Session {
+	out := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// sessionIDs returns the session IDs in ascending order.
+func (m *Modem) sessionIDs() []uint8 {
+	ids := make([]uint8, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Session returns the session with the given ID.
+func (m *Modem) Session(id uint8) (*Session, bool) {
+	s, okS := m.sessions[id]
+	return s, okS
+}
+
+// FirstActiveSession returns the lowest-ID active session, if any.
+func (m *Modem) FirstActiveSession() (*Session, bool) {
+	var best *Session
+	for _, s := range m.sessions {
+		if s.Active && (best == nil || s.ID < best.ID) {
+			best = s
+		}
+	}
+	return best, best != nil
+}
+
+// OverrideSessionDNN sets the modem's cached session DNN without touching
+// the SIM — the failure injector uses this to model a stale modem cache.
+func (m *Modem) OverrideSessionDNN(dnn string) { m.profile.DNN = dnn }
+
+// OverridePLMNList marks the cached preferred-PLMN list stale, forcing
+// full-band searches (the condition SEED A2 repairs).
+func (m *Modem) OverridePLMNList(plmns []uint32) {
+	m.profile.PLMNs = plmns
+	m.plmnListFresh = false
+}
+
+func (m *Modem) setState(s State) {
+	if m.state == s {
+		return
+	}
+	m.state = s
+	if m.hook.OnStateChange != nil {
+		m.hook.OnStateChange(s)
+	}
+}
+
+// PowerOn boots the modem: read the SIM profile, search for a network,
+// and start registration.
+func (m *Modem) PowerOn() {
+	if m.state != StateOff {
+		return
+	}
+	m.setState(StateBooting)
+	m.k.After(m.cfg.BootTime, m.loadProfileAndSearch)
+}
+
+// PowerOff drops all state and turns the modem off.
+func (m *Modem) PowerOff() {
+	m.cancelRegTimer()
+	for _, id := range m.sessionIDs() {
+		m.dropSession(id)
+	}
+	m.guti = "" // volatile context cleared by power cycle
+	m.sec = nil
+	m.hasIK = false
+	m.rrcConnected = false
+	m.resuming = false
+	m.pendingPkts = nil
+	if m.idleTimer != nil {
+		m.idleTimer.Stop()
+	}
+	m.regAttempts = 0
+	m.setState(StateOff)
+}
+
+// Reboot power-cycles the modem (AT+CFUN=1,1 / SEED B1 / Android's last
+// recovery rung). The reboot clears cached contexts and re-reads the SIM.
+func (m *Modem) Reboot() {
+	m.stats.Reboots++
+	m.PowerOff()
+	m.PowerOn()
+}
+
+func (m *Modem) loadProfileAndSearch() {
+	// Profile read costs a handful of APDU exchanges.
+	m.k.After(4*m.cfg.SIMIOLatency, func() {
+		p, err := m.card.ReadProfile()
+		if err == nil {
+			m.profile = p
+			m.imsi = p.IMSI
+			m.plmnListFresh = containsPLMN(p.PLMNs, ServingPLMN)
+		}
+		if m.hook.OnProfileReload != nil {
+			m.hook.OnProfileReload()
+		}
+		m.search()
+	})
+}
+
+// ServingPLMN is the PLMN of the emulated serving network.
+const ServingPLMN uint32 = 310170
+
+func containsPLMN(list []uint32, p uint32) bool {
+	for _, v := range list {
+		if v == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Modem) search() {
+	m.setState(StateSearching)
+	d := m.cfg.FullSearchTime
+	if m.plmnListFresh {
+		d = m.cfg.ListSearchTime
+	}
+	m.k.After(d, func() {
+		if m.state != StateSearching {
+			return
+		}
+		m.setState(StateDeregistered)
+		m.Attach()
+	})
+}
+
+// Attach starts the registration procedure.
+func (m *Modem) Attach() {
+	if m.state != StateDeregistered && m.state != StateRegistered {
+		return
+	}
+	m.stats.Attaches++
+	m.setState(StateRegistering)
+	m.rrcConnected = true
+	m.resuming = false
+	m.tx(radio.RRCConnect{UE: m.imsi})
+	m.sendRegistrationRequest()
+}
+
+// RRCConnected reports whether the radio connection is active (false in
+// idle mode).
+func (m *Modem) RRCConnected() bool { return m.rrcConnected }
+
+// markActivity resets the inactivity clock (user-plane traffic only).
+func (m *Modem) markActivity() {
+	if m.idleTimer != nil {
+		m.idleTimer.Stop()
+	}
+	if m.cfg.InactivityTimeout <= 0 {
+		return
+	}
+	m.idleTimer = m.k.After(m.cfg.InactivityTimeout, m.goIdle)
+}
+
+// goIdle releases the RRC connection after inactivity (TS 38.331 RRC
+// inactivity behaviour; the NAS registration and the PDU sessions stay).
+func (m *Modem) goIdle() {
+	if m.state != StateRegistered || !m.rrcConnected {
+		return
+	}
+	m.rrcConnected = false
+	m.stats.IdleTransitions++
+	m.tx(radio.RRCRelease{UE: m.imsi})
+}
+
+// resume performs the idle→connected transition: RRC connect plus a
+// Service Request; queued packets flush on Service Accept.
+func (m *Modem) resume() {
+	if m.resuming || m.state != StateRegistered {
+		return
+	}
+	m.resuming = true
+	m.stats.ServiceRequests++
+	m.tx(radio.RRCConnect{UE: m.imsi})
+	m.sendNAS(&nas.ServiceRequest{Identity: m.identity()})
+}
+
+func (m *Modem) identity() nas.MobileIdentity {
+	if m.guti != "" {
+		return nas.MobileIdentity{Type: nas.IdentityGUTI, Value: m.guti}
+	}
+	return nas.MobileIdentity{Type: nas.IdentitySUCI, Value: m.imsi}
+}
+
+func (m *Modem) sendRegistrationRequest() {
+	req := &nas.RegistrationRequest{
+		RegistrationType: nas.RegInitial,
+		Identity:         m.identity(),
+	}
+	if m.profile.SST != 0 {
+		req.RequestedNSSAI = []nas.SNSSAI{{SST: m.profile.SST, SD: m.profile.SD}}
+	}
+	m.sendNAS(req)
+	m.cancelRegTimer()
+	m.regTimer = m.k.After(m.cfg.T3510, m.onT3510Expiry)
+}
+
+func (m *Modem) cancelRegTimer() {
+	if m.regTimer != nil {
+		m.regTimer.Stop()
+		m.regTimer = nil
+	}
+}
+
+func (m *Modem) sendNAS(msg nas.Message) {
+	m.stats.NASSent++
+	if m.hook.OnNAS != nil {
+		m.hook.OnNAS(true, msg)
+	}
+	data := nas.Marshal(msg)
+	if m.sec != nil {
+		data = m.sec.Protect(crypto5g.Uplink, data)
+	}
+	m.tx(radio.UplinkNAS{UE: m.imsi, Bytes: data})
+}
+
+// unwrapNAS strips/verifies a downlink security envelope: the active
+// context first, then a fresh context keyed by the latest AKA (the
+// Security Mode re-keying boundary), else the initial-message allowance.
+func (m *Modem) unwrapNAS(data []byte) ([]byte, bool) {
+	if !nas.IsProtected(data) {
+		return data, true
+	}
+	if m.sec != nil {
+		if plain, err := m.sec.Unprotect(crypto5g.Downlink, data); err == nil {
+			return plain, true
+		}
+	}
+	if m.hasIK {
+		fresh := nas.NewSecurityContext(m.lastIK)
+		if plain, err := fresh.Unprotect(crypto5g.Downlink, data); err == nil {
+			m.sec = fresh
+			return plain, true
+		}
+	}
+	plain, err := nas.StripUnverified(data)
+	return plain, err == nil
+}
+
+// HandleDownlink processes a frame delivered by the radio link.
+func (m *Modem) HandleDownlink(frame any) {
+	if m.state == StateOff || m.state == StateBooting {
+		return
+	}
+	switch f := frame.(type) {
+	case radio.DownlinkNAS:
+		m.stats.NASReceived++
+		data, okSec := m.unwrapNAS(f.Bytes)
+		if !okSec {
+			return // failed integrity check: dropped
+		}
+		msg, err := nas.Unmarshal(data)
+		if err != nil {
+			return // undecodable frames are dropped, as a real modem would
+		}
+		if m.hook.OnNAS != nil {
+			m.hook.OnNAS(false, msg)
+		}
+		m.handleNAS(msg)
+	case radio.Packet:
+		m.stats.PacketsDown++
+		m.markActivity()
+		if m.hook.OnDownlinkData != nil {
+			m.hook.OnDownlinkData(f)
+		}
+	case radio.RRCRelease:
+		// Network released the radio connection.
+		m.rrcConnected = false
+	}
+}
+
+func (m *Modem) handleNAS(msg nas.Message) {
+	switch t := msg.(type) {
+	case *nas.AuthenticationRequest:
+		m.handleAuthRequest(t)
+	case *nas.SecurityModeCommand:
+		m.sendNAS(&nas.SecurityModeComplete{})
+	case *nas.RegistrationAccept:
+		m.handleRegistrationAccept(t)
+	case *nas.RegistrationReject:
+		m.handleRegistrationReject(t)
+	case *nas.ServiceAccept:
+		// idle→connected transition complete: flush the queued uplink.
+		m.rrcConnected = true
+		m.resuming = false
+		pkts := m.pendingPkts
+		m.pendingPkts = nil
+		for _, pkt := range pkts {
+			m.stats.PacketsUp++
+			m.tx(pkt)
+		}
+		m.markActivity()
+	case *nas.ServiceReject:
+		m.resuming = false
+		m.pendingPkts = nil
+		m.reportReject(nas.EPD5GMM, uint8(t.Cause))
+		m.legacyRegistrationFailure(uint8(t.Cause))
+	case *nas.ConfigurationUpdateCommand:
+		if t.GUTI != nil {
+			m.guti = t.GUTI.Value
+		}
+	case *nas.DeregistrationRequest:
+		m.sendNAS(&nas.DeregistrationAccept{})
+		m.localDeregister()
+	case *nas.PDUSessionEstablishmentAccept:
+		m.handleSessionAccept(t)
+	case *nas.PDUSessionEstablishmentReject:
+		m.handleSessionReject(t)
+	case *nas.PDUSessionModificationCommand:
+		m.handleSessionModification(t)
+	case *nas.PDUSessionReleaseCommand:
+		m.handleSessionReleaseCommand(t)
+	}
+}
+
+func (m *Modem) reportReject(epd byte, code uint8) {
+	if m.hook.OnReject != nil {
+		m.hook.OnReject(epd, code)
+	}
+}
+
+func (m *Modem) handleAuthRequest(req *nas.AuthenticationRequest) {
+	// The modem forwards RAND/AUTN to the SIM unconditionally — it cannot
+	// tell a SEED diagnosis delivery from a real challenge, which is what
+	// keeps SEED firmware-compatible.
+	m.k.After(2*m.cfg.SIMIOLatency, func() {
+		res := m.card.Authenticate(req.RAND, req.AUTN)
+		switch res.Kind {
+		case sim.AuthOK:
+			m.lastIK = res.IK
+			m.hasIK = true
+			m.sendNAS(&nas.AuthenticationResponse{RES: res.RES[:]})
+		case sim.AuthSyncFailure:
+			m.sendNAS(&nas.AuthenticationFailure{
+				Cause: 21, // Synch failure
+				AUTS:  append([]byte(nil), res.AUTS[:]...),
+			})
+		case sim.AuthMACFailure:
+			m.sendNAS(&nas.AuthenticationFailure{Cause: 20}) // MAC failure
+		}
+	})
+}
+
+func (m *Modem) handleRegistrationAccept(acc *nas.RegistrationAccept) {
+	m.cancelRegTimer()
+	m.regAttempts = 0
+	m.guti = acc.GUTI.Value
+	m.sendNAS(&nas.RegistrationComplete{})
+	m.setState(StateRegistered)
+	m.markActivity() // arm the inactivity clock from registration
+	if m.autoSession && len(m.sessions) == 0 {
+		m.EstablishSession(m.profile.DNN, nas.SessionIPv4)
+	}
+}
+
+// EstablishSession starts PDU session establishment for the given DNN.
+// It returns the local session ID, or 0 when the modem is not registered
+// (session management requires 5GMM registration, TS 24.501 §6.1.1).
+func (m *Modem) EstablishSession(dnn string, typ nas.PDUSessionType) uint8 {
+	if m.state != StateRegistered {
+		return 0
+	}
+	id := m.nextSession
+	m.nextSession++
+	m.nextPTI++
+	s := &Session{ID: id, DNN: dnn, Type: typ, pti: m.nextPTI}
+	m.sessions[id] = s
+	m.sendSessionRequest(s)
+	return id
+}
+
+func (m *Modem) sendSessionRequest(s *Session) {
+	req := &nas.PDUSessionEstablishmentRequest{
+		SMHeader:    nas.SMHeader{PDUSessionID: s.ID, PTI: s.pti},
+		SessionType: s.Type,
+		DNN:         s.DNN,
+	}
+	if m.profile.SST != 0 {
+		sn := nas.SNSSAI{SST: m.profile.SST, SD: m.profile.SD}
+		req.SNSSAI = &sn
+	}
+	m.sendNAS(req)
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.timer = m.k.After(m.cfg.T3580, func() { m.onT3580Expiry(s.ID) })
+}
+
+func (m *Modem) handleSessionAccept(acc *nas.PDUSessionEstablishmentAccept) {
+	s, okS := m.sessions[acc.PDUSessionID]
+	if !okS {
+		return
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	s.attempts = 0
+	s.Active = true
+	s.Address = acc.Address
+	s.DNS = acc.DNSServers
+	s.TFT = acc.TFT
+	s.QoS = acc.QoS
+	if acc.DNN != "" {
+		s.DNN = acc.DNN
+	}
+	if m.hook.OnSessionUp != nil {
+		m.hook.OnSessionUp(s)
+	}
+}
+
+func (m *Modem) handleSessionModification(cmd *nas.PDUSessionModificationCommand) {
+	s, okS := m.sessions[cmd.PDUSessionID]
+	if !okS || !s.Active {
+		return
+	}
+	if cmd.TFT != nil {
+		s.TFT = *cmd.TFT
+	}
+	if cmd.QoS != nil {
+		s.QoS = *cmd.QoS
+	}
+	if len(cmd.DNSServers) > 0 {
+		s.DNS = cmd.DNSServers
+	}
+	m.sendNAS(&nas.PDUSessionModificationComplete{
+		SMHeader: nas.SMHeader{PDUSessionID: cmd.PDUSessionID, PTI: cmd.PTI},
+	})
+}
+
+func (m *Modem) handleSessionReleaseCommand(cmd *nas.PDUSessionReleaseCommand) {
+	m.sendNAS(&nas.PDUSessionReleaseComplete{
+		SMHeader: nas.SMHeader{PDUSessionID: cmd.PDUSessionID, PTI: cmd.PTI},
+	})
+	_, hadSession := m.sessions[cmd.PDUSessionID]
+	m.dropSession(cmd.PDUSessionID)
+	// A network-initiated release of the default data session makes the
+	// OS re-request default connectivity shortly after, like Android's
+	// ConnectivityService does (IMS or DIAG sessions may remain).
+	if hadSession && m.autoSession && !m.hasDefaultSession() {
+		m.k.After(500*time.Millisecond, func() {
+			if m.state == StateRegistered && !m.hasDefaultSession() {
+				m.EstablishSession(m.profile.DNN, nas.SessionIPv4)
+			}
+		})
+	}
+}
+
+// hasDefaultSession reports whether a session for the default (profile)
+// DNN exists, active or being established.
+func (m *Modem) hasDefaultSession() bool {
+	for _, s := range m.sessions {
+		if s.DNN == m.profile.DNN {
+			return true
+		}
+	}
+	return false
+}
+
+// ReleaseSession initiates UE-side session teardown.
+func (m *Modem) ReleaseSession(id uint8) {
+	s, okS := m.sessions[id]
+	if !okS {
+		return
+	}
+	m.sendNAS(&nas.PDUSessionReleaseRequest{
+		SMHeader: nas.SMHeader{PDUSessionID: id, PTI: s.pti},
+		Cause:    36, // regular deactivation
+	})
+	m.dropSession(id)
+}
+
+func (m *Modem) dropSession(id uint8) {
+	s, okS := m.sessions[id]
+	if !okS {
+		return
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	wasActive := s.Active
+	delete(m.sessions, id)
+	if wasActive && m.hook.OnSessionDown != nil {
+		m.hook.OnSessionDown(id)
+	}
+}
+
+func (m *Modem) localDeregister() {
+	for _, id := range m.sessionIDs() {
+		m.dropSession(id)
+	}
+	m.cancelRegTimer()
+	if m.state == StateRegistered || m.state == StateRegistering {
+		m.setState(StateDeregistered)
+	}
+}
+
+// Deregister sends a deregistration request and drops local state.
+func (m *Modem) Deregister() {
+	if m.state != StateRegistered && m.state != StateRegistering {
+		return
+	}
+	m.sendNAS(&nas.DeregistrationRequest{Identity: m.identity()})
+	m.localDeregister()
+}
+
+// Reattach performs deregister + attach (SEED B2 "control-plane
+// reattachment", also the tail of the legacy escalation).
+func (m *Modem) Reattach() {
+	m.Deregister()
+	m.guti = "" // clean detach/attach: the fresh registration uses SUCI
+	m.regAttempts = 0
+	m.Attach()
+}
+
+// SimulateMobility emulates a tracking-area change: the modem silently
+// drops its local registration (the network is not informed — its view of
+// the UE may now be stale) and re-registers with whatever identity it has
+// cached. This is the §3.1 trigger for identity-desync failures.
+func (m *Modem) SimulateMobility() {
+	if m.state != StateRegistered && m.state != StateRegistering {
+		return
+	}
+	for _, id := range m.sessionIDs() {
+		m.dropSession(id)
+	}
+	m.cancelRegTimer()
+	m.setState(StateDeregistered)
+	m.regAttempts = 0
+	m.Attach()
+}
+
+// SendPacket transmits an uplink user-plane packet on a session. It
+// reports false when the session is not active. In idle mode the packet
+// is queued behind a Service Request and flushed on resume.
+func (m *Modem) SendPacket(pkt radio.Packet) bool {
+	s, okS := m.sessions[pkt.SessionID]
+	if !okS || !s.Active {
+		return false
+	}
+	pkt.UE = m.imsi
+	copy(pkt.Src[:], s.Address[:])
+	if !m.rrcConnected && m.cfg.InactivityTimeout > 0 {
+		m.pendingPkts = append(m.pendingPkts, pkt)
+		m.resume()
+		return true
+	}
+	m.markActivity()
+	m.stats.PacketsUp++
+	return m.tx(pkt)
+}
+
+// RequestModification sends a PDU Session Modification Request for an
+// active session; the network answers with its authoritative
+// configuration (SEED's B3 "data-plane modification" trigger).
+func (m *Modem) RequestModification(id uint8) bool {
+	s, okS := m.sessions[id]
+	if !okS || !s.Active {
+		return false
+	}
+	m.nextPTI++
+	m.sendNAS(&nas.PDUSessionModificationRequest{
+		SMHeader: nas.SMHeader{PDUSessionID: id, PTI: m.nextPTI},
+	})
+	return true
+}
+
+// SendRawSessionRequest transmits a fire-and-forget PDU Session
+// Establishment Request without creating a tracked session — the vehicle
+// for SEED's DIAG-DNN uplink reports (Fig 7b), whose reject-ACK must not
+// trigger the legacy retry machinery.
+func (m *Modem) SendRawSessionRequest(dnn string) bool {
+	if m.state != StateRegistered {
+		return false
+	}
+	m.nextPTI++
+	m.sendNAS(&nas.PDUSessionEstablishmentRequest{
+		SMHeader:    nas.SMHeader{PDUSessionID: 200 + m.nextPTI%50, PTI: m.nextPTI},
+		SessionType: nas.SessionIPv4,
+		DNN:         dnn,
+	})
+	return true
+}
+
+// TransmitAPDU relays an APDU from the carrier app (TelephonyManager
+// openLogicalChannel path) to the SIM, delivering the response to done
+// after the SIM I/O latency.
+func (m *Modem) TransmitAPDU(cmd sim.Command, done func(sim.Response)) {
+	m.k.After(2*m.cfg.SIMIOLatency, func() {
+		resp := m.card.Process(cmd)
+		if done != nil {
+			done(resp)
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package nas
+
+import (
+	"testing"
+
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/crypto5g"
+)
+
+// Codec micro-benchmarks: the NAS encoder/decoder sits on every signaling
+// exchange of the testbed, so its throughput bounds how fast experiments
+// replay.
+
+func benchAccept() *PDUSessionEstablishmentAccept {
+	return &PDUSessionEstablishmentAccept{
+		SMHeader:    SMHeader{PDUSessionID: 5, PTI: 17},
+		SessionType: SessionIPv4,
+		Address:     Addr{10, 45, 0, 2},
+		DNSServers:  []Addr{{10, 45, 0, 53}, {8, 8, 8, 8}},
+		QoS:         QoS{FiveQI: 9, UplinkKbps: 100000, DownKbps: 500000},
+		TFT: TFT{Filters: []PacketFilter{
+			{Direction: FilterBidirectional, Protocol: ProtoTCP, PortLow: 1, PortHigh: 65535},
+			{Direction: FilterUplink, Protocol: ProtoUDP, RemoteAddr: Addr{1, 2, 3, 4}, PortLow: 5000, PortHigh: 5100},
+		}},
+		DNN: "internet",
+	}
+}
+
+func BenchmarkMarshalSessionAccept(b *testing.B) {
+	msg := benchAccept()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Marshal(msg)
+	}
+}
+
+func BenchmarkUnmarshalSessionAccept(b *testing.B) {
+	data := Marshal(benchAccept())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalRegistrationReject(b *testing.B) {
+	msg := &RegistrationReject{Cause: cause.MMPLMNNotAllowed, T3502Seconds: 720}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Marshal(msg)
+	}
+}
+
+func BenchmarkSecurityProtectUnprotect(b *testing.B) {
+	var ik [16]byte
+	copy(ik[:], "bench-integrity!")
+	ue := NewSecurityContext(ik)
+	amf := NewSecurityContext(ik)
+	plain := Marshal(benchAccept())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire := ue.Protect(crypto5g.Uplink, plain)
+		if _, err := amf.Unprotect(crypto5g.Uplink, wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package nas
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/seed5g/seed/internal/cause"
+)
+
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	data := Marshal(msg)
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal(%T): %v", msg, err)
+	}
+	if !reflect.DeepEqual(msg, got) {
+		t.Fatalf("roundtrip mismatch for %T:\n sent %+v\n got  %+v", msg, msg, got)
+	}
+	return got
+}
+
+func TestRegistrationRequestRoundTrip(t *testing.T) {
+	roundTrip(t, &RegistrationRequest{
+		RegistrationType: RegInitial,
+		Identity:         MobileIdentity{Type: IdentitySUCI, Value: "310170123456789"},
+		RequestedNSSAI:   []SNSSAI{{SST: 1, SD: [3]byte{0, 0, 1}}, {SST: 2}},
+		LastTAI:          &TAI{PLMN: 310170, TAC: 7711},
+		Capability:       []byte{0x01, 0x02},
+	})
+	// Minimal variant with no optionals.
+	roundTrip(t, &RegistrationRequest{
+		RegistrationType: RegMobility,
+		Identity:         MobileIdentity{Type: IdentityGUTI, Value: "guti-0042"},
+	})
+}
+
+func TestRegistrationAcceptRoundTrip(t *testing.T) {
+	roundTrip(t, &RegistrationAccept{
+		GUTI:         MobileIdentity{Type: IdentityGUTI, Value: "guti-7"},
+		TAIList:      []TAI{{PLMN: 310170, TAC: 1}, {PLMN: 310170, TAC: 2}},
+		AllowedNSSAI: []SNSSAI{{SST: 1}},
+		T3512Seconds: 3600,
+	})
+}
+
+func TestRegistrationRejectRoundTrip(t *testing.T) {
+	roundTrip(t, &RegistrationReject{Cause: cause.MMPLMNNotAllowed})
+	roundTrip(t, &RegistrationReject{Cause: cause.MMCongestion, T3502Seconds: 720})
+}
+
+func TestAuthenticationMessagesRoundTrip(t *testing.T) {
+	var rnd, autn [16]byte
+	for i := range rnd {
+		rnd[i] = byte(i)
+		autn[i] = byte(0xF0 - i)
+	}
+	roundTrip(t, &AuthenticationRequest{NgKSI: 3, RAND: rnd, AUTN: autn})
+	roundTrip(t, &AuthenticationResponse{RES: []byte{1, 2, 3, 4, 5, 6, 7, 8}})
+	roundTrip(t, &AuthenticationFailure{Cause: cause.MMMACFailure})
+	roundTrip(t, &AuthenticationFailure{
+		Cause: cause.MMSynchFailure,
+		AUTS:  []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14},
+	})
+	roundTrip(t, &AuthenticationReject{})
+}
+
+func TestDFlagDetection(t *testing.T) {
+	var autn [16]byte
+	diag := &AuthenticationRequest{RAND: DFlagRAND, AUTN: autn}
+	if !diag.IsDiagnosis() {
+		t.Fatal("DFlag RAND not detected")
+	}
+	normal := &AuthenticationRequest{}
+	if normal.IsDiagnosis() {
+		t.Fatal("zero RAND misdetected as diagnosis")
+	}
+	// Survives the wire.
+	got := roundTrip(t, diag).(*AuthenticationRequest)
+	if !got.IsDiagnosis() {
+		t.Fatal("DFlag lost in roundtrip")
+	}
+}
+
+func TestServiceAndDeregistrationRoundTrip(t *testing.T) {
+	roundTrip(t, &ServiceRequest{Identity: MobileIdentity{Type: IdentityGUTI, Value: "g1"}})
+	roundTrip(t, &ServiceAccept{})
+	roundTrip(t, &ServiceReject{Cause: cause.MMCongestion, T3346Seconds: 30})
+	roundTrip(t, &ServiceReject{Cause: cause.MMUEIdentityCannotBeDerived})
+	roundTrip(t, &DeregistrationRequest{Identity: MobileIdentity{Type: IdentityGUTI, Value: "g1"}})
+	roundTrip(t, &DeregistrationAccept{})
+	roundTrip(t, &RegistrationComplete{})
+	roundTrip(t, &SecurityModeCommand{Algorithms: 0x21})
+	roundTrip(t, &SecurityModeComplete{})
+	roundTrip(t, &MMStatus{Cause: cause.MMMessageTypeNotCompatible})
+}
+
+func TestConfigurationUpdateCommandRoundTrip(t *testing.T) {
+	guti := MobileIdentity{Type: IdentityGUTI, Value: "fresh"}
+	roundTrip(t, &ConfigurationUpdateCommand{
+		TAIList:      []TAI{{PLMN: 1, TAC: 2}},
+		AllowedNSSAI: []SNSSAI{{SST: 3, SD: [3]byte{1, 2, 3}}},
+		GUTI:         &guti,
+	})
+	roundTrip(t, &ConfigurationUpdateCommand{})
+}
+
+func TestPDUSessionEstablishmentRoundTrip(t *testing.T) {
+	s := SNSSAI{SST: 1, SD: [3]byte{9, 9, 9}}
+	roundTrip(t, &PDUSessionEstablishmentRequest{
+		SMHeader:    SMHeader{PDUSessionID: 5, PTI: 17},
+		SessionType: SessionIPv4,
+		DNN:         "internet",
+		SNSSAI:      &s,
+	})
+	roundTrip(t, &PDUSessionEstablishmentAccept{
+		SMHeader:    SMHeader{PDUSessionID: 5, PTI: 17},
+		SessionType: SessionIPv4,
+		Address:     Addr{10, 45, 0, 2},
+		DNSServers:  []Addr{{10, 45, 0, 53}, {8, 8, 8, 8}},
+		QoS:         QoS{FiveQI: 9, UplinkKbps: 100000, DownKbps: 500000},
+		TFT: TFT{Filters: []PacketFilter{
+			{Direction: FilterBidirectional, Protocol: ProtoTCP, PortLow: 1, PortHigh: 65535},
+		}},
+		DNN: "internet",
+	})
+	roundTrip(t, &PDUSessionEstablishmentReject{
+		SMHeader: SMHeader{PDUSessionID: 5, PTI: 17},
+		Cause:    cause.SMMissingOrUnknownDNN,
+	})
+	roundTrip(t, &PDUSessionEstablishmentReject{
+		SMHeader:       SMHeader{PDUSessionID: 5, PTI: 18},
+		Cause:          cause.SMInsufficientResources,
+		BackoffSeconds: 60,
+		SuggestedDNN:   "ims",
+	})
+}
+
+func TestPDUSessionModificationRoundTrip(t *testing.T) {
+	tft := TFT{Filters: []PacketFilter{
+		{Direction: FilterUplink, Protocol: ProtoUDP, RemoteAddr: Addr{1, 2, 3, 4}, PortLow: 5000, PortHigh: 5100},
+	}}
+	qos := QoS{FiveQI: 1, UplinkKbps: 1000, DownKbps: 1000}
+	roundTrip(t, &PDUSessionModificationRequest{
+		SMHeader: SMHeader{PDUSessionID: 1, PTI: 2}, TFT: &tft, QoS: &qos,
+	})
+	roundTrip(t, &PDUSessionModificationRequest{SMHeader: SMHeader{PDUSessionID: 1, PTI: 3}})
+	roundTrip(t, &PDUSessionModificationCommand{
+		SMHeader: SMHeader{PDUSessionID: 1, PTI: 2}, TFT: &tft,
+		DNSServers: []Addr{{9, 9, 9, 9}},
+	})
+	roundTrip(t, &PDUSessionModificationComplete{SMHeader{1, 2}})
+	roundTrip(t, &PDUSessionModificationReject{SMHeader{1, 2}, cause.SMSemanticErrorInTFT})
+}
+
+func TestPDUSessionReleaseRoundTrip(t *testing.T) {
+	roundTrip(t, &PDUSessionReleaseRequest{SMHeader{3, 4}, cause.SMRegularDeactivation})
+	roundTrip(t, &PDUSessionReleaseReject{SMHeader{3, 4}, cause.SMPDUSessionDoesNotExist})
+	roundTrip(t, &PDUSessionReleaseCommand{SMHeader{3, 4}, cause.SMReactivationRequested})
+	roundTrip(t, &PDUSessionReleaseComplete{SMHeader{3, 4}})
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{EPD5GMM},
+		{EPD5GMM, 0},
+		{EPD5GMM, 0, 0xEE},    // unknown 5GMM type
+		{EPD5GSM, 1, 2},       // truncated 5GSM header
+		{EPD5GSM, 1, 2, 0xEE}, // unknown 5GSM type
+		{0x99, 0, 0, 0},       // unknown EPD
+		{EPD5GMM, 0, byte(MTRegistrationRequest)},               // missing body
+		{EPD5GMM, 0, byte(MTAuthenticationRequest), 1, 2},       // truncated RAND
+		{EPD5GSM, 1, 2, byte(MTPDUSessionEstablishmentRequest)}, // missing body
+	}
+	for i, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("case %d: Unmarshal(%x) succeeded, want error", i, data)
+		}
+	}
+}
+
+func TestUnmarshalErrorKinds(t *testing.T) {
+	_, err := Unmarshal([]byte{EPD5GMM, 0, 0xEE})
+	if !errors.Is(err, ErrUnknownMessage) {
+		t.Fatalf("unknown type err = %v", err)
+	}
+	_, err = Unmarshal([]byte{EPD5GMM, 0, byte(MTRegistrationReject)})
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated err = %v", err)
+	}
+}
+
+func TestUnknownOptionalTagsSkipped(t *testing.T) {
+	// Append an unknown TLV to a valid reject; decoding must ignore it.
+	data := Marshal(&RegistrationReject{Cause: cause.MMPLMNNotAllowed})
+	data = append(data, 0xE0, 2, 0xAB, 0xCD)
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*RegistrationReject).Cause != cause.MMPLMNNotAllowed {
+		t.Fatal("cause lost when skipping unknown IE")
+	}
+}
+
+func TestName(t *testing.T) {
+	if Name(EPD5GMM, MTRegistrationRequest) != "Registration Request" {
+		t.Fatal("5GMM name wrong")
+	}
+	if Name(EPD5GSM, MTPDUSessionEstablishmentReject) != "PDU Session Establishment Reject" {
+		t.Fatal("5GSM name wrong")
+	}
+	if Name(0x42, 0x42) == "" {
+		t.Fatal("unknown name empty")
+	}
+}
+
+func TestPacketFilterMatches(t *testing.T) {
+	f := PacketFilter{Direction: FilterUplink, Protocol: ProtoTCP, RemoteAddr: Addr{1, 2, 3, 4}, PortLow: 80, PortHigh: 443}
+	tests := []struct {
+		dir   FilterDirection
+		proto uint8
+		addr  Addr
+		port  uint16
+		want  bool
+	}{
+		{FilterUplink, ProtoTCP, Addr{1, 2, 3, 4}, 80, true},
+		{FilterUplink, ProtoTCP, Addr{1, 2, 3, 4}, 443, true},
+		{FilterUplink, ProtoTCP, Addr{1, 2, 3, 4}, 444, false},
+		{FilterUplink, ProtoTCP, Addr{1, 2, 3, 5}, 80, false},
+		{FilterUplink, ProtoUDP, Addr{1, 2, 3, 4}, 80, false},
+		{FilterDownlink, ProtoTCP, Addr{1, 2, 3, 4}, 80, false},
+	}
+	for i, tt := range tests {
+		if got := f.Matches(tt.dir, tt.proto, tt.addr, tt.port); got != tt.want {
+			t.Errorf("case %d: Matches = %v, want %v", i, got, tt.want)
+		}
+	}
+	any := PacketFilter{Direction: FilterBidirectional}
+	if !any.Matches(FilterUplink, ProtoUDP, Addr{9, 9, 9, 9}, 31337) {
+		t.Fatal("wildcard filter did not match")
+	}
+}
+
+func TestTFTAdmits(t *testing.T) {
+	empty := TFT{}
+	if !empty.Admits(FilterUplink, ProtoTCP, Addr{1, 1, 1, 1}, 80) {
+		t.Fatal("empty TFT must admit all")
+	}
+	blockUDP := TFT{Filters: []PacketFilter{
+		{Direction: FilterBidirectional, Protocol: ProtoTCP},
+	}}
+	if blockUDP.Admits(FilterUplink, ProtoUDP, Addr{1, 1, 1, 1}, 5000) {
+		t.Fatal("TCP-only TFT admitted UDP")
+	}
+	if !blockUDP.Admits(FilterDownlink, ProtoTCP, Addr{1, 1, 1, 1}, 443) {
+		t.Fatal("TCP-only TFT rejected TCP")
+	}
+}
+
+func TestValidDNN(t *testing.T) {
+	if ValidDNN("") {
+		t.Fatal("empty DNN valid")
+	}
+	if !ValidDNN("internet") {
+		t.Fatal("internet invalid")
+	}
+	long := make([]byte, MaxDNNLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if ValidDNN(string(long)) {
+		t.Fatal("oversized DNN valid")
+	}
+	if !ValidDNN(string(long[:MaxDNNLen])) {
+		t.Fatal("exactly-max DNN invalid")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	checks := []struct{ got, want string }{
+		{IdentitySUCI.String(), "SUCI"},
+		{IdentityGUTI.String(), "5G-GUTI"},
+		{SessionIPv4.String(), "IPv4"},
+		{SessionEthernet.String(), "Ethernet"},
+		{FilterUplink.String(), "uplink"},
+		{Addr{10, 0, 0, 1}.String(), "10.0.0.1"},
+		{TFT{}.String(), "TFT{match-all}"},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+// Property: arbitrary RegistrationReject and PDUSessionEstablishmentReject
+// values roundtrip — the two reject messages are SEED's diagnosis inputs,
+// so their codec must never corrupt a cause.
+func TestPropertyRejectRoundTrip(t *testing.T) {
+	f := func(code uint8, backoff uint32, dnnBytes []byte) bool {
+		if len(dnnBytes) > MaxDNNLen {
+			dnnBytes = dnnBytes[:MaxDNNLen]
+		}
+		rr := &RegistrationReject{Cause: cause.Code(code), T3502Seconds: backoff}
+		got, err := Unmarshal(Marshal(rr))
+		if err != nil || !reflect.DeepEqual(rr, got) {
+			return false
+		}
+		sr := &PDUSessionEstablishmentReject{
+			SMHeader:       SMHeader{PDUSessionID: code, PTI: ^code},
+			Cause:          cause.Code(code),
+			BackoffSeconds: backoff,
+			SuggestedDNN:   string(dnnBytes),
+		}
+		got2, err := Unmarshal(Marshal(sr))
+		return err == nil && reflect.DeepEqual(sr, got2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary byte soup.
+func TestPropertyUnmarshalNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Unmarshal(Marshal(m)) preserves every truncation prefix as an
+// error, not a panic or silent success for structurally mandatory fields.
+func TestPropertyTruncationsFailCleanly(t *testing.T) {
+	msgs := []Message{
+		&RegistrationRequest{RegistrationType: RegInitial, Identity: MobileIdentity{Type: IdentitySUCI, Value: "imsi"}},
+		&AuthenticationRequest{},
+		&PDUSessionEstablishmentAccept{
+			SMHeader: SMHeader{1, 2}, SessionType: SessionIPv4,
+			Address: Addr{1, 2, 3, 4}, QoS: QoS{FiveQI: 9},
+		},
+	}
+	for _, m := range msgs {
+		full := Marshal(m)
+		for cut := 0; cut < len(full); cut++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%T truncated at %d panicked: %v", m, cut, r)
+					}
+				}()
+				_, _ = Unmarshal(full[:cut])
+			}()
+		}
+	}
+}

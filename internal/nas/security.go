@@ -1,0 +1,115 @@
+package nas
+
+import (
+	"fmt"
+
+	"github.com/seed5g/seed/internal/crypto5g"
+)
+
+// Security header types (TS 24.501 §9.3).
+const (
+	// SecHdrPlain marks an unprotected NAS message.
+	SecHdrPlain byte = 0x00
+	// SecHdrIntegrity marks an integrity-protected NAS message.
+	SecHdrIntegrity byte = 0x01
+)
+
+// secEnvelopeLen is the security envelope prefix: EPD | security header |
+// MAC-I(4) | SEQ(1), followed by the complete plain NAS message.
+const secEnvelopeLen = 7
+
+// SecurityContext is a NAS security association (one per UE after a
+// successful Security Mode procedure). It integrity-protects outbound
+// messages with 128-EIA2 and verifies inbound ones, maintaining the
+// uplink/downlink NAS COUNTs with the standard SEQ-byte estimation.
+type SecurityContext struct {
+	ik      [16]byte
+	ulCount uint32
+	dlCount uint32
+
+	protectedOut int
+	verifiedIn   int
+}
+
+// NewSecurityContext creates a context keyed with the integrity key from
+// the AKA run (the testbed uses IK directly where a real deployment would
+// run the key-derivation chain down to K_NASint).
+func NewSecurityContext(ik [16]byte) *SecurityContext {
+	return &SecurityContext{ik: ik}
+}
+
+// Stats returns (messages protected, messages verified).
+func (c *SecurityContext) Stats() (out, in int) { return c.protectedOut, c.verifiedIn }
+
+// Protect wraps an encoded plain NAS message in an integrity-protected
+// envelope for the given direction.
+func (c *SecurityContext) Protect(dir crypto5g.Direction, plain []byte) []byte {
+	count := &c.ulCount
+	if dir == crypto5g.Downlink {
+		count = &c.dlCount
+	}
+	*count++
+	seq := byte(*count)
+	body := make([]byte, 0, 1+len(plain))
+	body = append(body, seq)
+	body = append(body, plain...)
+	mac, err := crypto5g.EIA2(c.ik[:], *count, 1, dir, body)
+	if err != nil {
+		panic(err) // fixed-size key cannot fail
+	}
+	out := make([]byte, 0, secEnvelopeLen+len(plain))
+	out = append(out, EPD5GMM, SecHdrIntegrity)
+	out = append(out, mac[:]...)
+	out = append(out, body...)
+	c.protectedOut++
+	return out
+}
+
+// IsProtected reports whether data carries a security envelope.
+func IsProtected(data []byte) bool {
+	return len(data) >= secEnvelopeLen && data[0] == EPD5GMM && data[1] == SecHdrIntegrity
+}
+
+// Unprotect verifies and strips the security envelope, returning the inner
+// plain NAS message. The expected NAS COUNT is estimated from the SEQ byte
+// per TS 33.501 §6.4.3.1 (wrap the high bits forward when the sequence
+// number regresses).
+func (c *SecurityContext) Unprotect(dir crypto5g.Direction, data []byte) ([]byte, error) {
+	if !IsProtected(data) {
+		return nil, fmt.Errorf("nas: message is not security protected")
+	}
+	mac := data[2:6]
+	body := data[6:]
+	seq := body[0]
+
+	count := &c.ulCount
+	if dir == crypto5g.Downlink {
+		count = &c.dlCount
+	}
+	est := (*count &^ 0xFF) | uint32(seq)
+	if est <= *count {
+		est += 0x100
+	}
+	want, err := crypto5g.EIA2(c.ik[:], est, 1, dir, body)
+	if err != nil {
+		return nil, err
+	}
+	if !crypto5g.ConstantTimeEqual(want[:], mac) {
+		return nil, fmt.Errorf("nas: integrity check failed (count %d)", est)
+	}
+	*count = est
+	c.verifiedIn++
+	return body[1:], nil
+}
+
+// StripUnverified extracts the inner plain message from a protected
+// envelope without verification. Receivers use it for protected *initial*
+// messages arriving before they hold the sender's security context (the
+// TS 24.501 §4.4.4.2 initial-message allowance); the subsequent
+// authentication re-establishes trust.
+func StripUnverified(data []byte) ([]byte, error) {
+	if !IsProtected(data) {
+		return nil, fmt.Errorf("nas: message is not security protected")
+	}
+	return data[secEnvelopeLen:], nil
+}

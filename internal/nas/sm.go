@@ -1,0 +1,360 @@
+package nas
+
+import "github.com/seed5g/seed/internal/cause"
+
+// Optional IE tags used in 5GSM messages.
+const (
+	tagSNSSAI       byte = 0x22
+	tagDNSServers   byte = 0x25
+	tagTFT          byte = 0x36
+	tagQoS          byte = 0x79
+	tagBackoff      byte = 0x37
+	tagSessionDNN   byte = 0x28
+	tagSuggestedDNN byte = 0x26
+)
+
+func newSMMessage(mt MsgType) SessionMessage {
+	switch mt {
+	case MTPDUSessionEstablishmentRequest:
+		return &PDUSessionEstablishmentRequest{}
+	case MTPDUSessionEstablishmentAccept:
+		return &PDUSessionEstablishmentAccept{}
+	case MTPDUSessionEstablishmentReject:
+		return &PDUSessionEstablishmentReject{}
+	case MTPDUSessionModificationRequest:
+		return &PDUSessionModificationRequest{}
+	case MTPDUSessionModificationReject:
+		return &PDUSessionModificationReject{}
+	case MTPDUSessionModificationCommand:
+		return &PDUSessionModificationCommand{}
+	case MTPDUSessionModificationComplete:
+		return &PDUSessionModificationComplete{}
+	case MTPDUSessionReleaseRequest:
+		return &PDUSessionReleaseRequest{}
+	case MTPDUSessionReleaseReject:
+		return &PDUSessionReleaseReject{}
+	case MTPDUSessionReleaseCommand:
+		return &PDUSessionReleaseCommand{}
+	case MTPDUSessionReleaseComplete:
+		return &PDUSessionReleaseComplete{}
+	default:
+		return nil
+	}
+}
+
+// SMHeader holds the 5GSM per-message header fields shared by all session
+// management messages: the PDU session identity and the procedure
+// transaction identity.
+type SMHeader struct {
+	PDUSessionID uint8
+	PTI          uint8
+}
+
+func (h *SMHeader) sessionHeader() (uint8, uint8) { return h.PDUSessionID, h.PTI }
+func (h *SMHeader) setSessionHeader(id, pti uint8) {
+	h.PDUSessionID = id
+	h.PTI = pti
+}
+
+// PDUSessionEstablishmentRequest asks the SMF to set up a data session for
+// the given DNN. SEED's uplink diagnosis channel rides in the DNN field:
+// a DNN starting with "DIAG" carries a sealed failure-report fragment
+// (Fig 7b) instead of naming a real data network.
+type PDUSessionEstablishmentRequest struct {
+	SMHeader
+	SessionType PDUSessionType
+	DNN         string
+	SNSSAI      *SNSSAI
+}
+
+func (m *PDUSessionEstablishmentRequest) EPD() byte { return EPD5GSM }
+func (m *PDUSessionEstablishmentRequest) MessageType() MsgType {
+	return MTPDUSessionEstablishmentRequest
+}
+
+func (m *PDUSessionEstablishmentRequest) encodeBody(w *writer) {
+	w.byte(byte(m.SessionType))
+	w.lv([]byte(m.DNN))
+	if m.SNSSAI != nil {
+		sub := &writer{}
+		m.SNSSAI.encode(sub)
+		w.tlv(tagSNSSAI, sub.bytes())
+	}
+}
+
+func (m *PDUSessionEstablishmentRequest) decodeBody(r *reader) {
+	m.SessionType = PDUSessionType(r.byte())
+	m.DNN = string(r.lv())
+	r.optionals(func(tag byte, val []byte) {
+		if tag == tagSNSSAI {
+			rr := &reader{buf: val}
+			s := decodeSNSSAI(rr)
+			if rr.err == nil {
+				m.SNSSAI = &s
+			}
+		}
+	})
+}
+
+// PDUSessionEstablishmentAccept confirms session setup and delivers the
+// data-plane configuration: the UE address, DNS servers, QoS and TFT.
+type PDUSessionEstablishmentAccept struct {
+	SMHeader
+	SessionType PDUSessionType
+	Address     Addr
+	DNSServers  []Addr
+	QoS         QoS
+	TFT         TFT
+	DNN         string
+}
+
+func (m *PDUSessionEstablishmentAccept) EPD() byte            { return EPD5GSM }
+func (m *PDUSessionEstablishmentAccept) MessageType() MsgType { return MTPDUSessionEstablishmentAccept }
+
+func (m *PDUSessionEstablishmentAccept) encodeBody(w *writer) {
+	w.byte(byte(m.SessionType))
+	w.raw(m.Address[:])
+	if len(m.DNSServers) > 0 {
+		sub := &writer{}
+		for _, d := range m.DNSServers {
+			sub.raw(d[:])
+		}
+		w.tlv(tagDNSServers, sub.bytes())
+	}
+	subQ := &writer{}
+	m.QoS.encode(subQ)
+	w.tlv(tagQoS, subQ.bytes())
+	if len(m.TFT.Filters) > 0 {
+		sub := &writer{}
+		m.TFT.encode(sub)
+		w.tlv(tagTFT, sub.bytes())
+	}
+	if m.DNN != "" {
+		w.tlvString(tagSessionDNN, m.DNN)
+	}
+}
+
+func (m *PDUSessionEstablishmentAccept) decodeBody(r *reader) {
+	m.SessionType = PDUSessionType(r.byte())
+	copy(m.Address[:], r.take(4))
+	r.optionals(func(tag byte, val []byte) {
+		switch tag {
+		case tagDNSServers:
+			for i := 0; i+4 <= len(val); i += 4 {
+				var a Addr
+				copy(a[:], val[i:i+4])
+				m.DNSServers = append(m.DNSServers, a)
+			}
+		case tagQoS:
+			rr := &reader{buf: val}
+			m.QoS = decodeQoS(rr)
+		case tagTFT:
+			rr := &reader{buf: val}
+			m.TFT = decodeTFT(rr)
+		case tagSessionDNN:
+			m.DNN = string(val)
+		}
+	})
+}
+
+// PDUSessionEstablishmentReject denies session setup with a standardized
+// 5GSM cause — the other message family SEED's diagnosis mines. The SMF
+// also uses it (with cause "request rejected") as the ACK for a DIAG-DNN
+// uplink report.
+type PDUSessionEstablishmentReject struct {
+	SMHeader
+	Cause          cause.Code
+	BackoffSeconds uint32
+	SuggestedDNN   string
+}
+
+func (m *PDUSessionEstablishmentReject) EPD() byte            { return EPD5GSM }
+func (m *PDUSessionEstablishmentReject) MessageType() MsgType { return MTPDUSessionEstablishmentReject }
+
+func (m *PDUSessionEstablishmentReject) encodeBody(w *writer) {
+	w.byte(byte(m.Cause))
+	if m.BackoffSeconds != 0 {
+		sub := &writer{}
+		sub.uint32(m.BackoffSeconds)
+		w.tlv(tagBackoff, sub.bytes())
+	}
+	if m.SuggestedDNN != "" {
+		w.tlvString(tagSuggestedDNN, m.SuggestedDNN)
+	}
+}
+
+func (m *PDUSessionEstablishmentReject) decodeBody(r *reader) {
+	m.Cause = cause.Code(r.byte())
+	r.optionals(func(tag byte, val []byte) {
+		switch tag {
+		case tagBackoff:
+			rr := &reader{buf: val}
+			m.BackoffSeconds = rr.uint32()
+		case tagSuggestedDNN:
+			m.SuggestedDNN = string(val)
+		}
+	})
+}
+
+// PDUSessionModificationRequest asks the network to change session
+// parameters (TFT and/or QoS).
+type PDUSessionModificationRequest struct {
+	SMHeader
+	TFT *TFT
+	QoS *QoS
+}
+
+func (m *PDUSessionModificationRequest) EPD() byte            { return EPD5GSM }
+func (m *PDUSessionModificationRequest) MessageType() MsgType { return MTPDUSessionModificationRequest }
+
+func (m *PDUSessionModificationRequest) encodeBody(w *writer) {
+	if m.TFT != nil {
+		sub := &writer{}
+		m.TFT.encode(sub)
+		w.tlv(tagTFT, sub.bytes())
+	}
+	if m.QoS != nil {
+		sub := &writer{}
+		m.QoS.encode(sub)
+		w.tlv(tagQoS, sub.bytes())
+	}
+}
+
+func (m *PDUSessionModificationRequest) decodeBody(r *reader) {
+	r.optionals(func(tag byte, val []byte) {
+		switch tag {
+		case tagTFT:
+			rr := &reader{buf: val}
+			t := decodeTFT(rr)
+			if rr.err == nil {
+				m.TFT = &t
+			}
+		case tagQoS:
+			rr := &reader{buf: val}
+			q := decodeQoS(rr)
+			if rr.err == nil {
+				m.QoS = &q
+			}
+		}
+	})
+}
+
+// PDUSessionModificationCommand is the network-initiated session update:
+// SEED's B3 "data-plane modification" delivers corrected TFTs, QoS or DNS
+// configuration through it without tearing the session down.
+type PDUSessionModificationCommand struct {
+	SMHeader
+	TFT        *TFT
+	QoS        *QoS
+	DNSServers []Addr
+}
+
+func (m *PDUSessionModificationCommand) EPD() byte            { return EPD5GSM }
+func (m *PDUSessionModificationCommand) MessageType() MsgType { return MTPDUSessionModificationCommand }
+
+func (m *PDUSessionModificationCommand) encodeBody(w *writer) {
+	if m.TFT != nil {
+		sub := &writer{}
+		m.TFT.encode(sub)
+		w.tlv(tagTFT, sub.bytes())
+	}
+	if m.QoS != nil {
+		sub := &writer{}
+		m.QoS.encode(sub)
+		w.tlv(tagQoS, sub.bytes())
+	}
+	if len(m.DNSServers) > 0 {
+		sub := &writer{}
+		for _, d := range m.DNSServers {
+			sub.raw(d[:])
+		}
+		w.tlv(tagDNSServers, sub.bytes())
+	}
+}
+
+func (m *PDUSessionModificationCommand) decodeBody(r *reader) {
+	r.optionals(func(tag byte, val []byte) {
+		switch tag {
+		case tagTFT:
+			rr := &reader{buf: val}
+			t := decodeTFT(rr)
+			if rr.err == nil {
+				m.TFT = &t
+			}
+		case tagQoS:
+			rr := &reader{buf: val}
+			q := decodeQoS(rr)
+			if rr.err == nil {
+				m.QoS = &q
+			}
+		case tagDNSServers:
+			for i := 0; i+4 <= len(val); i += 4 {
+				var a Addr
+				copy(a[:], val[i:i+4])
+				m.DNSServers = append(m.DNSServers, a)
+			}
+		}
+	})
+}
+
+// PDUSessionModificationComplete acknowledges a modification command.
+type PDUSessionModificationComplete struct{ SMHeader }
+
+func (m *PDUSessionModificationComplete) EPD() byte { return EPD5GSM }
+func (m *PDUSessionModificationComplete) MessageType() MsgType {
+	return MTPDUSessionModificationComplete
+}
+func (m *PDUSessionModificationComplete) encodeBody(*writer) {}
+func (m *PDUSessionModificationComplete) decodeBody(*reader) {}
+
+// PDUSessionModificationReject denies a modification with a 5GSM cause.
+type PDUSessionModificationReject struct {
+	SMHeader
+	Cause cause.Code
+}
+
+func (m *PDUSessionModificationReject) EPD() byte            { return EPD5GSM }
+func (m *PDUSessionModificationReject) MessageType() MsgType { return MTPDUSessionModificationReject }
+func (m *PDUSessionModificationReject) encodeBody(w *writer) { w.byte(byte(m.Cause)) }
+func (m *PDUSessionModificationReject) decodeBody(r *reader) { m.Cause = cause.Code(r.byte()) }
+
+// PDUSessionReleaseRequest is the UE-initiated session teardown.
+type PDUSessionReleaseRequest struct {
+	SMHeader
+	Cause cause.Code
+}
+
+func (m *PDUSessionReleaseRequest) EPD() byte            { return EPD5GSM }
+func (m *PDUSessionReleaseRequest) MessageType() MsgType { return MTPDUSessionReleaseRequest }
+func (m *PDUSessionReleaseRequest) encodeBody(w *writer) { w.byte(byte(m.Cause)) }
+func (m *PDUSessionReleaseRequest) decodeBody(r *reader) { m.Cause = cause.Code(r.byte()) }
+
+// PDUSessionReleaseReject denies a release request.
+type PDUSessionReleaseReject struct {
+	SMHeader
+	Cause cause.Code
+}
+
+func (m *PDUSessionReleaseReject) EPD() byte            { return EPD5GSM }
+func (m *PDUSessionReleaseReject) MessageType() MsgType { return MTPDUSessionReleaseReject }
+func (m *PDUSessionReleaseReject) encodeBody(w *writer) { w.byte(byte(m.Cause)) }
+func (m *PDUSessionReleaseReject) decodeBody(r *reader) { m.Cause = cause.Code(r.byte()) }
+
+// PDUSessionReleaseCommand is the network-initiated session teardown.
+type PDUSessionReleaseCommand struct {
+	SMHeader
+	Cause cause.Code
+}
+
+func (m *PDUSessionReleaseCommand) EPD() byte            { return EPD5GSM }
+func (m *PDUSessionReleaseCommand) MessageType() MsgType { return MTPDUSessionReleaseCommand }
+func (m *PDUSessionReleaseCommand) encodeBody(w *writer) { w.byte(byte(m.Cause)) }
+func (m *PDUSessionReleaseCommand) decodeBody(r *reader) { m.Cause = cause.Code(r.byte()) }
+
+// PDUSessionReleaseComplete acknowledges a release command.
+type PDUSessionReleaseComplete struct{ SMHeader }
+
+func (m *PDUSessionReleaseComplete) EPD() byte            { return EPD5GSM }
+func (m *PDUSessionReleaseComplete) MessageType() MsgType { return MTPDUSessionReleaseComplete }
+func (m *PDUSessionReleaseComplete) encodeBody(*writer)   {}
+func (m *PDUSessionReleaseComplete) decodeBody(*reader)   {}

@@ -1,0 +1,115 @@
+package nas
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// writer accumulates wire bytes. It never fails: lengths are validated by
+// the IE constructors before encoding.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) byte(b byte)     { w.buf = append(w.buf, b) }
+func (w *writer) bytes() []byte   { return w.buf }
+func (w *writer) raw(b []byte)    { w.buf = append(w.buf, b...) }
+func (w *writer) uint16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) uint32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// lv writes a length-prefixed value (1-byte length).
+func (w *writer) lv(v []byte) {
+	if len(v) > 255 {
+		panic(fmt.Sprintf("nas: LV value too long: %d", len(v)))
+	}
+	w.byte(byte(len(v)))
+	w.raw(v)
+}
+
+// tlv writes a tagged length-prefixed value.
+func (w *writer) tlv(tag byte, v []byte) {
+	w.byte(tag)
+	w.lv(v)
+}
+
+// tlvString writes a TLV whose value is a string.
+func (w *writer) tlvString(tag byte, s string) { w.tlv(tag, []byte(s)) }
+
+// reader consumes wire bytes with sticky error semantics: after the first
+// failure every subsequent read is a no-op returning zero values, and the
+// error is surfaced once by Unmarshal.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d", ErrTruncated, fmt.Sprintf(format, args...), r.off)
+	}
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 1 {
+		r.fail("need 1 byte")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.remaining() < n {
+		r.fail("need %d bytes, have %d", n, r.remaining())
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) uint16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) uint32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// lv reads a 1-byte-length-prefixed value.
+func (r *reader) lv() []byte {
+	n := int(r.byte())
+	return r.take(n)
+}
+
+// optionals iterates the trailing optional TLV section, invoking fn for
+// each (tag, value) pair. Unknown tags are skipped (forward compatibility,
+// mirroring the "comprehension not required" IE behaviour).
+func (r *reader) optionals(fn func(tag byte, val []byte)) {
+	for r.err == nil && r.remaining() > 0 {
+		tag := r.byte()
+		val := r.lv()
+		if r.err != nil {
+			return
+		}
+		fn(tag, val)
+	}
+}

@@ -1,0 +1,126 @@
+package netemu
+
+import (
+	"testing"
+	"time"
+
+	"github.com/seed5g/seed/internal/sched"
+)
+
+func TestLinkDeliversWithLatency(t *testing.T) {
+	k := sched.New(1)
+	var got any
+	var at time.Duration
+	l := NewLink(k, "t", 10*time.Millisecond, func(m any) { got, at = m, k.Now() })
+	if !l.Send("hello") {
+		t.Fatal("Send reported drop on healthy link")
+	}
+	k.Run()
+	if got != "hello" {
+		t.Fatalf("got %v", got)
+	}
+	if at != 10*time.Millisecond {
+		t.Fatalf("delivered at %v, want 10ms", at)
+	}
+}
+
+func TestLinkFIFOUnderJitter(t *testing.T) {
+	k := sched.New(3)
+	var got []int
+	l := NewLink(k, "t", time.Millisecond, func(m any) { got = append(got, m.(int)) })
+	l.Jitter = 50 * time.Millisecond
+	for i := 0; i < 50; i++ {
+		l.Send(i)
+	}
+	k.Run()
+	if len(got) != 50 {
+		t.Fatalf("delivered %d, want 50", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reordered delivery: %v", got)
+		}
+	}
+}
+
+func TestLinkPartitionDropsButInFlightArrives(t *testing.T) {
+	k := sched.New(1)
+	n := 0
+	l := NewLink(k, "t", 10*time.Millisecond, func(any) { n++ })
+	l.Send(1) // in flight
+	l.SetDown(true)
+	if l.Send(2) {
+		t.Fatal("Send on downed link reported success")
+	}
+	k.Run()
+	if n != 1 {
+		t.Fatalf("delivered %d, want 1 (in-flight only)", n)
+	}
+	l.SetDown(false)
+	l.Send(3)
+	k.Run()
+	if n != 2 {
+		t.Fatalf("delivered %d after heal, want 2", n)
+	}
+	sent, delivered, dropped := l.Stats()
+	if sent != 3 || delivered != 2 || dropped != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 3/2/1", sent, delivered, dropped)
+	}
+}
+
+func TestLinkLossIsProbabilistic(t *testing.T) {
+	k := sched.New(99)
+	n := 0
+	l := NewLink(k, "t", time.Millisecond, func(any) { n++ })
+	l.Loss = 0.5
+	for i := 0; i < 1000; i++ {
+		l.Send(i)
+	}
+	k.Run()
+	if n < 400 || n > 600 {
+		t.Fatalf("delivered %d of 1000 at 50%% loss; outside [400,600]", n)
+	}
+}
+
+func TestLinkZeroLossDeliversAll(t *testing.T) {
+	k := sched.New(1)
+	n := 0
+	l := NewLink(k, "t", time.Millisecond, func(any) { n++ })
+	for i := 0; i < 100; i++ {
+		l.Send(i)
+	}
+	k.Run()
+	if n != 100 {
+		t.Fatalf("delivered %d, want 100", n)
+	}
+}
+
+func TestDuplex(t *testing.T) {
+	k := sched.New(1)
+	var toB, toA []string
+	d := NewDuplex(k, "radio", 5*time.Millisecond,
+		func(m any) { toB = append(toB, m.(string)) },
+		func(m any) { toA = append(toA, m.(string)) })
+	d.A2B.Send("req")
+	d.B2A.Send("resp")
+	k.Run()
+	if len(toB) != 1 || toB[0] != "req" || len(toA) != 1 || toA[0] != "resp" {
+		t.Fatalf("duplex delivery wrong: toB=%v toA=%v", toB, toA)
+	}
+	d.SetDown(true)
+	if d.A2B.Send("x") || d.B2A.Send("y") {
+		t.Fatal("partitioned duplex accepted messages")
+	}
+}
+
+func TestDuplexSetHandlersLater(t *testing.T) {
+	k := sched.New(1)
+	d := NewDuplex(k, "late", time.Millisecond, nil, nil)
+	got := ""
+	d.SetHandlers(func(m any) { got = m.(string) }, func(any) {})
+	d.A2B.Send("later")
+	k.Run()
+	if got != "later" {
+		t.Fatalf("got %q", got)
+	}
+}

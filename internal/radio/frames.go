@@ -1,0 +1,45 @@
+// Package radio defines the frame types exchanged over the emulated radio
+// link between the modem and the gNB. NAS payloads travel as encoded bytes
+// (the nas package's wire format) so the full codec path is exercised on
+// every signaling exchange; user-plane traffic travels as Packet frames.
+package radio
+
+// UplinkNAS carries an encoded NAS message from a UE to the network.
+type UplinkNAS struct {
+	UE    string // IMSI-keyed UE identifier for demux at the gNB
+	Bytes []byte
+}
+
+// DownlinkNAS carries an encoded NAS message from the network to a UE.
+type DownlinkNAS struct {
+	UE    string
+	Bytes []byte
+}
+
+// RRCConnect signals UE radio connection establishment to the gNB.
+type RRCConnect struct {
+	UE string
+}
+
+// RRCRelease signals radio connection release (either side).
+type RRCRelease struct {
+	UE string
+}
+
+// Packet is a user-plane datagram on an established PDU session.
+type Packet struct {
+	UE        string
+	SessionID uint8
+	// Proto is the IP protocol (6 TCP, 17 UDP).
+	Proto uint8
+	// Src/Dst are IPv4 addresses; for uplink Src is the UE address.
+	Src, Dst [4]byte
+	// SrcPort/DstPort are transport ports.
+	SrcPort, DstPort uint16
+	// Flow tags the application flow for the traffic emulators.
+	Flow string
+	// Payload length in bytes (contents are not modelled).
+	Length int
+	// Meta carries emulator-specific data (e.g. DNS query names).
+	Meta string
+}

@@ -1,0 +1,99 @@
+// Package report defines the application failure-report API of §4.3.2:
+// disruption-sensitive apps call it to bypass Android's slow detection.
+// A report carries exactly the three parameters the paper specifies —
+// failure type, traffic direction, and address — and is shared between
+// the traffic emulators (producers) and the SEED carrier app (consumer).
+package report
+
+import "fmt"
+
+// FailureType is the failed protocol: the three most common data-delivery
+// failures of §3.1.
+type FailureType uint8
+
+const (
+	FailDNS FailureType = iota + 1
+	FailTCP
+	FailUDP
+)
+
+func (t FailureType) String() string {
+	switch t {
+	case FailDNS:
+		return "DNS"
+	case FailTCP:
+		return "TCP"
+	case FailUDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("FailureType(%d)", uint8(t))
+	}
+}
+
+// Direction is the failed traffic direction.
+type Direction uint8
+
+const (
+	DirUplink Direction = iota + 1
+	DirDownlink
+	DirBoth
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirUplink:
+		return "uplink"
+	case DirDownlink:
+		return "downlink"
+	case DirBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("Direction(%d)", uint8(d))
+	}
+}
+
+// FailureReport is the report payload. For TCP/UDP failures Addr/Port
+// identify the blocked flow (used to check TFT/policy conflicts); for DNS
+// failures Domain carries the unresolvable name.
+type FailureReport struct {
+	Type      FailureType
+	Direction Direction
+	Addr      [4]byte
+	Port      uint16
+	Domain    string
+}
+
+func (r FailureReport) String() string {
+	if r.Type == FailDNS {
+		return fmt.Sprintf("%s/%s %q", r.Type, r.Direction, r.Domain)
+	}
+	return fmt.Sprintf("%s/%s %d.%d.%d.%d:%d",
+		r.Type, r.Direction, r.Addr[0], r.Addr[1], r.Addr[2], r.Addr[3], r.Port)
+}
+
+// Marshal encodes the report compactly for the SIM↔infrastructure channel
+// (it must fit the DNN budget after sealing).
+func (r FailureReport) Marshal() []byte {
+	out := []byte{byte(r.Type), byte(r.Direction)}
+	out = append(out, r.Addr[:]...)
+	out = append(out, byte(r.Port>>8), byte(r.Port))
+	out = append(out, []byte(r.Domain)...)
+	return out
+}
+
+// Unmarshal decodes a report.
+func Unmarshal(data []byte) (FailureReport, error) {
+	if len(data) < 8 {
+		return FailureReport{}, fmt.Errorf("report: need 8 bytes, got %d", len(data))
+	}
+	var r FailureReport
+	r.Type = FailureType(data[0])
+	r.Direction = Direction(data[1])
+	copy(r.Addr[:], data[2:6])
+	r.Port = uint16(data[6])<<8 | uint16(data[7])
+	r.Domain = string(data[8:])
+	if r.Type < FailDNS || r.Type > FailUDP {
+		return FailureReport{}, fmt.Errorf("report: bad failure type %d", data[0])
+	}
+	return r, nil
+}

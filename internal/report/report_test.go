@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	cases := []FailureReport{
+		{Type: FailTCP, Direction: DirBoth, Addr: [4]byte{203, 0, 113, 10}, Port: 443},
+		{Type: FailUDP, Direction: DirUplink, Addr: [4]byte{203, 0, 113, 20}, Port: 9000},
+		{Type: FailDNS, Direction: DirBoth, Domain: "app.example.com"},
+		{Type: FailDNS, Direction: DirDownlink, Domain: ""},
+	}
+	for _, r := range cases {
+		got, err := Unmarshal(r.Marshal())
+		if err != nil {
+			t.Fatalf("%+v: %v", r, err)
+		}
+		if got != r {
+			t.Fatalf("roundtrip: sent %+v got %+v", r, got)
+		}
+	}
+}
+
+func TestMarshalFitsDNNBudget(t *testing.T) {
+	// The sealed report must fit in DIAG DNN fragments; the raw report
+	// with a typical domain must stay well under 100 bytes.
+	r := FailureReport{Type: FailDNS, Direction: DirBoth, Domain: "connectivitycheck.gstatic.com"}
+	if n := len(r.Marshal()); n > 60 {
+		t.Fatalf("report is %d bytes; too large for single-fragment delivery", n)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short blob accepted")
+	}
+	if _, err := Unmarshal([]byte{99, 1, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("bad failure type accepted")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	r := FailureReport{Type: FailTCP, Direction: DirBoth, Addr: [4]byte{1, 2, 3, 4}, Port: 443}
+	if s := r.String(); !strings.Contains(s, "1.2.3.4:443") || !strings.Contains(s, "TCP") {
+		t.Fatalf("String = %q", s)
+	}
+	d := FailureReport{Type: FailDNS, Direction: DirUplink, Domain: "x.example"}
+	if s := d.String(); !strings.Contains(s, "x.example") || !strings.Contains(s, "DNS") {
+		t.Fatalf("String = %q", s)
+	}
+	if FailureType(9).String() == "" || Direction(9).String() == "" {
+		t.Fatal("fallback strings empty")
+	}
+	if FailUDP.String() != "UDP" || DirDownlink.String() != "downlink" {
+		t.Fatal("names drifted")
+	}
+}
+
+// Property: any valid report roundtrips; Unmarshal never panics on junk.
+func TestPropertyRoundTripAndNoPanic(t *testing.T) {
+	f := func(typ, dir uint8, addr [4]byte, port uint16, domain string) bool {
+		r := FailureReport{
+			Type:      FailureType(typ%3) + FailDNS,
+			Direction: Direction(dir%3) + DirUplink,
+			Addr:      addr, Port: port, Domain: domain,
+		}
+		got, err := Unmarshal(r.Marshal())
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	g := func(junk []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Unmarshal(junk)
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package sched implements a deterministic discrete-event simulation
+// kernel. All SEED substrates (modem, SIM, core network, Android stack,
+// traffic emulators) run on a Kernel's virtual clock, so experiments that
+// span minutes of protocol time (e.g. a 476 s data-plane disruption or a
+// 12-minute T3502 backoff) execute in microseconds of wall time and are
+// bit-for-bit reproducible for a given seed.
+//
+// The kernel is single-threaded by design: events run one at a time in
+// (time, insertion-order) sequence, so components never need locks and a
+// run with the same seed always produces the same trace.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Kernel is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; call New.
+type Kernel struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+}
+
+// New returns a Kernel whose random source is seeded with seed.
+// Two kernels created with the same seed and fed the same schedule of
+// events produce identical execution traces.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time, measured from kernel start.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Timer is a handle to a scheduled event. Stop cancels it; a stopped or
+// fired timer is inert.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer is scheduled and has neither fired nor
+// been stopped.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past (at < Now) panics: it indicates a causality bug in the caller.
+func (k *Kernel) At(at time.Duration, fn func()) *Timer {
+	if at < k.now {
+		panic(fmt.Sprintf("sched: scheduling event at %v before now %v", at, k.now))
+	}
+	k.seq++
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	heap.Push(&k.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time.
+// Negative d is treated as zero.
+func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its
+// deadline. It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	for k.queue.Len() > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		k.now = ev.at
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+}
+
+// RunUntil executes events with deadlines <= t, then advances the clock to
+// exactly t. Events scheduled beyond t remain queued.
+func (k *Kernel) RunUntil(t time.Duration) {
+	k.stopped = false
+	for !k.stopped {
+		// Cancelled timers may sit at the top of the heap with early
+		// deadlines; drop them so the peeked deadline is a real one
+		// (otherwise Step would skip past them and run an event beyond t).
+		for k.queue.Len() > 0 && k.queue[0].cancelled {
+			heap.Pop(&k.queue)
+		}
+		ev := k.queue.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		k.Step()
+	}
+	if t > k.now {
+		k.now = t
+	}
+}
+
+// RunFor executes events for d of virtual time from Now.
+func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now + d) }
+
+// Stop halts Run/RunUntil after the current event returns. Pending events
+// stay queued and a subsequent Run resumes them.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Pending returns the number of queued (non-cancelled) events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, ev := range k.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+func (h eventHeap) peek() *event {
+	if len(h) == 0 {
+		return nil
+	}
+	return h[0]
+}

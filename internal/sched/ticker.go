@@ -1,0 +1,42 @@
+package sched
+
+import "time"
+
+// Ticker repeatedly invokes a callback at a fixed virtual-time period
+// until stopped.
+type Ticker struct {
+	k       *Kernel
+	period  time.Duration
+	fn      func()
+	timer   *Timer
+	stopped bool
+}
+
+// Every schedules fn to run every period, first firing one period from
+// now. period must be positive.
+func (k *Kernel) Every(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sched: Every requires a positive period")
+	}
+	t := &Ticker{k: k, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.k.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. It is safe to call from within the callback.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.timer.Stop()
+}

@@ -1,0 +1,78 @@
+// Package sim emulates the Javacard-based SIM/eSIM the SEED prototype runs
+// on: an ISO 7816-4 APDU command interface, an EF/DF file system with an
+// enforced EEPROM quota, an applet runtime with a RAM quota, the ETSI
+// TS 102 223 Card Application Toolkit proactive commands SEED-U uses for
+// profile reloads and configuration updates, 5G-AKA authentication via
+// Milenage, and an OTA install path gated by the carrier key.
+//
+// The paper's eSIM has 180 KB EEPROM and 8 KB RAM; NewCard enforces those
+// budgets so "fits on the SIM" stays a tested property rather than a claim.
+package sim
+
+import "fmt"
+
+// APDU instruction bytes (ISO 7816-4 §5.4, ETSI TS 102 221 §10.1.2).
+const (
+	INSSelect           byte = 0xA4
+	INSReadBinary       byte = 0xB0
+	INSUpdateBinary     byte = 0xD6
+	INSAuthenticate     byte = 0x88
+	INSFetch            byte = 0x12
+	INSTerminalResponse byte = 0x14
+	INSEnvelope         byte = 0xC2
+	INSInstall          byte = 0xE6
+)
+
+// Status words (SW1<<8 | SW2).
+const (
+	SWOK               uint16 = 0x9000
+	SWFileNotFound     uint16 = 0x6A82
+	SWSecurityStatus   uint16 = 0x6982
+	SWWrongLength      uint16 = 0x6700
+	SWWrongParams      uint16 = 0x6A86
+	SWINSNotSupported  uint16 = 0x6D00
+	SWMemoryFailure    uint16 = 0x6581
+	SWAuthMACFailure   uint16 = 0x9862
+	SWAppletNotFound   uint16 = 0x6A88
+	swProactivePending uint16 = 0x9100 // SW2 carries the pending length class
+)
+
+// Command is an ISO 7816-4 command APDU.
+type Command struct {
+	CLA  byte
+	INS  byte
+	P1   byte
+	P2   byte
+	Data []byte
+}
+
+func (c Command) String() string {
+	return fmt.Sprintf("APDU{%02X %02X %02X %02X len=%d}", c.CLA, c.INS, c.P1, c.P2, len(c.Data))
+}
+
+// Response is an ISO 7816-4 response APDU.
+type Response struct {
+	Data []byte
+	SW   uint16
+}
+
+// OK reports whether the status word indicates success (including the
+// "success with proactive command pending" class).
+func (r Response) OK() bool {
+	return r.SW == SWOK || r.SW&0xFF00 == swProactivePending
+}
+
+// ProactivePending reports whether the card has a proactive command ready
+// for the terminal to FETCH.
+func (r Response) ProactivePending() bool { return r.SW&0xFF00 == swProactivePending }
+
+func ok(data []byte) Response          { return Response{Data: data, SW: SWOK} }
+func status(sw uint16) Response        { return Response{SW: sw} }
+func okProactive(data []byte) Response { return Response{Data: data, SW: swProactivePending} }
+
+// Authentication result tags returned by INS AUTHENTICATE in the response
+// body (modelled after TS 31.102 §7.1.2).
+const (
+	AuthTagSuccess  byte = 0xDB // followed by RES(8) CK(16) IK(16)
+	AuthTagSyncFail byte = 0xDC // followed by AUTS(14)
+)

@@ -1,0 +1,81 @@
+package sim
+
+import "fmt"
+
+// ProactiveType enumerates the Card Application Toolkit proactive commands
+// (ETSI TS 102 223) the testbed models. REFRESH is SEED-U's A1/A2 vehicle;
+// RUN AT COMMAND is the standardized path that would make SEED-R rootless
+// on modems that support it (§9 of the paper); DISPLAY TEXT carries the
+// user notifications for failures that require user action.
+type ProactiveType uint8
+
+const (
+	ProactiveRefresh ProactiveType = iota + 1
+	ProactiveRunATCommand
+	ProactiveProvideLocalInfo
+	ProactiveDisplayText
+	ProactiveSetUpMenu
+)
+
+func (t ProactiveType) String() string {
+	switch t {
+	case ProactiveRefresh:
+		return "REFRESH"
+	case ProactiveRunATCommand:
+		return "RUN AT COMMAND"
+	case ProactiveProvideLocalInfo:
+		return "PROVIDE LOCAL INFORMATION"
+	case ProactiveDisplayText:
+		return "DISPLAY TEXT"
+	case ProactiveSetUpMenu:
+		return "SET UP MENU"
+	default:
+		return fmt.Sprintf("ProactiveType(%d)", uint8(t))
+	}
+}
+
+// RefreshMode qualifies a REFRESH proactive command (TS 102 223 §6.4.7).
+type RefreshMode uint8
+
+const (
+	// RefreshInit re-initializes the NAA application: the modem re-reads
+	// the SIM profile (SEED action A1 "SIM profile reload").
+	RefreshInit RefreshMode = 1
+	// RefreshFileChange notifies the modem that listed EFs changed so it
+	// reloads just those (SEED action A2 "control-plane config update").
+	RefreshFileChange RefreshMode = 2
+	// RefreshUICCReset performs a full card reset.
+	RefreshUICCReset RefreshMode = 3
+)
+
+// ProactiveCommand is a card-originated command for the terminal.
+type ProactiveCommand struct {
+	Type ProactiveType
+	// Mode is set for REFRESH commands.
+	Mode RefreshMode
+	// Files lists changed EFs for RefreshFileChange.
+	Files []FileID
+	// Text carries the AT command line or display text.
+	Text string
+}
+
+func (p ProactiveCommand) String() string {
+	switch p.Type {
+	case ProactiveRefresh:
+		return fmt.Sprintf("REFRESH(mode=%d files=%v)", p.Mode, p.Files)
+	case ProactiveRunATCommand, ProactiveDisplayText:
+		return fmt.Sprintf("%s(%q)", p.Type, p.Text)
+	default:
+		return p.Type.String()
+	}
+}
+
+// TerminalResult is the terminal's outcome report for a fetched proactive
+// command (TS 102 223 §8.12 general result).
+type TerminalResult uint8
+
+const (
+	ResultOK                 TerminalResult = 0x00
+	ResultUnableToProcess    TerminalResult = 0x20
+	ResultBeyondCapabilities TerminalResult = 0x30
+)

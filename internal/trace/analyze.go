@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/seed5g/seed/internal/cause"
+)
+
+// CauseShare is one row of a Table 1-style breakdown.
+type CauseShare struct {
+	Cause cause.Cause
+	Name  string
+	Count int
+	// Share is the fraction of all failures (both planes).
+	Share float64
+}
+
+// Analysis summarizes a dataset the way §3.1 reports it.
+type Analysis struct {
+	Procedures   int
+	Failures     int
+	FailureRatio float64
+	ControlShare float64 // fraction of failures in the control plane
+	DataShare    float64
+	TopControl   []CauseShare
+	TopData      []CauseShare
+	// ByScenario counts failure cases per replay scenario.
+	ByScenario map[Scenario]int
+}
+
+// Analyze computes the dataset summary. topN bounds the per-plane cause
+// lists (Table 1 uses 5).
+func Analyze(ds *Dataset, topN int) Analysis {
+	a := Analysis{
+		Procedures:   ds.Procedures,
+		Failures:     len(ds.Failures),
+		FailureRatio: ds.FailureRatio(),
+		ByScenario:   make(map[Scenario]int),
+	}
+	counts := make(map[cause.Cause]int)
+	var mm, sm int
+	for _, r := range ds.Failures {
+		counts[r.Cause]++
+		a.ByScenario[r.Scenario]++
+		if r.Cause.Plane == cause.DataPlane {
+			sm++
+		} else {
+			mm++
+		}
+	}
+	if a.Failures > 0 {
+		a.ControlShare = float64(mm) / float64(a.Failures)
+		a.DataShare = float64(sm) / float64(a.Failures)
+	}
+	a.TopControl = topShares(counts, cause.ControlPlane, a.Failures, topN)
+	a.TopData = topShares(counts, cause.DataPlane, a.Failures, topN)
+	return a
+}
+
+func topShares(counts map[cause.Cause]int, plane cause.Plane, total, topN int) []CauseShare {
+	var rows []CauseShare
+	for c, n := range counts {
+		if c.Plane != plane {
+			continue
+		}
+		name := "(timeout, no cause)"
+		if info, okI := cause.Lookup(c); okI {
+			name = info.Name
+		}
+		rows = append(rows, CauseShare{
+			Cause: c, Name: name, Count: n, Share: float64(n) / float64(total),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Cause.Code < rows[j].Cause.Code
+	})
+	if len(rows) > topN {
+		rows = rows[:topN]
+	}
+	return rows
+}
+
+// RenderTable1 formats the analysis as the paper's Table 1.
+func (a Analysis) RenderTable1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: top %d failure causes in control/data plane\n", len(a.TopControl))
+	fmt.Fprintf(&b, "  (%d failures / %d procedures = %.1f%% failure ratio)\n",
+		a.Failures, a.Procedures, 100*a.FailureRatio)
+	fmt.Fprintf(&b, "Control Plane (%.1f%%):\n", 100*a.ControlShare)
+	for _, r := range a.TopControl {
+		fmt.Fprintf(&b, "  %-58s %5.1f%%\n", r.Name, 100*r.Share)
+	}
+	fmt.Fprintf(&b, "Data Plane (%.1f%%):\n", 100*a.DataShare)
+	for _, r := range a.TopData {
+		fmt.Fprintf(&b, "  %-58s %5.1f%%\n", r.Name, 100*r.Share)
+	}
+	return b.String()
+}

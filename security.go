@@ -1,0 +1,66 @@
+package seed
+
+import (
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/core"
+	"github.com/seed5g/seed/internal/crypto5g"
+	"github.com/seed5g/seed/internal/nas"
+)
+
+// This file exposes the adversarial probes behind the §7.3 security
+// analysis: protocol-valid but cryptographically invalid diagnosis
+// deliveries. They exist so examples and tests can demonstrate that the
+// collaboration channel rejects forgery and replay.
+
+// ForgeDiagnosis sends the device a diagnosis delivery sealed under an
+// attacker-chosen key (not the in-SIM key). The fragments are
+// protocol-valid DFlag Authentication Requests — the SIM ACKs them — but
+// the payload must never decrypt or trigger handling. It returns the
+// number of fragments sent.
+func (tb *Testbed) ForgeDiagnosis(d *Device, attackerKey string) int {
+	var k [16]byte
+	copy(k[:], attackerKey)
+	env := core.NewChannelEnvelope(k)
+	evil := core.DiagMessage{
+		Kind: core.DiagSuggestAction, Plane: cause.ControlPlane, Action: core.ActionB1,
+	}
+	sealed, err := env.Seal(crypto5g.Downlink, evil.Marshal())
+	if err != nil {
+		return 0
+	}
+	frags := core.FragmentAUTN(sealed)
+	for _, frag := range frags {
+		tb.net.AMF.MarkDiagPending(d.IMSI())
+		tb.net.AMF.SendRaw(d.IMSI(), &nas.AuthenticationRequest{
+			RAND: nas.DFlagRAND, AUTN: frag,
+		})
+	}
+	return len(frags)
+}
+
+// ReplayLastDiagnosis emulates an attacker replaying a previously captured
+// legitimate delivery: the payload is sealed with the true subscriber key
+// but with an envelope counter the SIM has already consumed. It returns
+// the number of fragments sent; the applet must accept none of them.
+func (tb *Testbed) ReplayLastDiagnosis(d *Device) int {
+	sub, ok := tb.net.UDM.Subscriber(d.IMSI())
+	if !ok {
+		return 0
+	}
+	// A fresh envelope restarts at counter 1 — exactly what a verbatim
+	// replay of the first captured delivery would carry.
+	env := core.NewChannelEnvelope(sub.K)
+	msg := core.DiagMessage{Kind: core.DiagCongestion, Plane: cause.ControlPlane, Code: 22}
+	sealed, err := env.Seal(crypto5g.Downlink, msg.Marshal())
+	if err != nil {
+		return 0
+	}
+	frags := core.FragmentAUTN(sealed)
+	for _, frag := range frags {
+		tb.net.AMF.MarkDiagPending(d.IMSI())
+		tb.net.AMF.SendRaw(d.IMSI(), &nas.AuthenticationRequest{
+			RAND: nas.DFlagRAND, AUTN: frag,
+		})
+	}
+	return len(frags)
+}

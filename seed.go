@@ -1,0 +1,488 @@
+// Package seed is a faithful software reproduction of "SEED: A SIM-Based
+// Solution to 5G Failures" (Zhao et al., SIGCOMM 2022). It bundles a
+// complete emulated 5G testbed — SIM/eSIM card runtime, modem with
+// standard-compliant state machines and timers, Android-style data-stall
+// detection and recovery, a gNB+AMF+SMF+UPF+UDM core network, application
+// traffic emulators — together with SEED itself: the SIM applet, carrier
+// app, core-network plugin, real-time SIM↔infrastructure collaboration
+// channel, multi-tier reset actions, and collaborative online learning.
+//
+// Everything runs on a deterministic discrete-event clock: experiments
+// that span hours of protocol time finish in milliseconds of wall time
+// and are exactly reproducible for a given seed.
+//
+// The quickest way in:
+//
+//	tb := seed.New(1)
+//	dev := tb.NewDevice(seed.ModeSEEDR)
+//	dev.Start()
+//	tb.Advance(30 * time.Second)       // device attaches, session up
+//	tb.DesyncIdentity(dev)             // inject a Table-1 failure
+//	tb.SimulateMobility(dev)           // ...that manifests on mobility
+//	tb.Advance(time.Minute)            // SEED diagnoses and recovers
+//
+// The Experiment functions regenerate every table and figure of the
+// paper's evaluation section; see EXPERIMENTS.md for the index.
+package seed
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/seed5g/seed/internal/core"
+	"github.com/seed5g/seed/internal/core5g"
+	"github.com/seed5g/seed/internal/dataplane"
+	"github.com/seed5g/seed/internal/modem"
+	"github.com/seed5g/seed/internal/nas"
+	"github.com/seed5g/seed/internal/sched"
+	"github.com/seed5g/seed/internal/sim"
+)
+
+// Mode selects a device's failure-handling stack.
+type Mode int
+
+const (
+	// ModeLegacy is the baseline: stock modem timers plus the Android
+	// detection/recovery ladder — no SEED.
+	ModeLegacy Mode = iota + 1
+	// ModeSEEDU runs SEED without root privilege (proactive-command and
+	// carrier-app reset paths).
+	ModeSEEDU
+	// ModeSEEDR runs SEED with root privilege (AT-command fast paths).
+	ModeSEEDR
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeLegacy:
+		return "Legacy"
+	case ModeSEEDU:
+		return "SEED-U"
+	case ModeSEEDR:
+		return "SEED-R"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+func (m Mode) deviceMode() core.DeviceMode {
+	switch m {
+	case ModeSEEDU:
+		return core.SEEDU
+	case ModeSEEDR:
+		return core.SEEDR
+	default:
+		return core.Legacy
+	}
+}
+
+// AppKind selects one of the five emulated application profiles (§7.1.2).
+type AppKind int
+
+const (
+	AppVideo AppKind = iota + 1
+	AppLiveStream
+	AppWeb
+	AppNavigation
+	AppEdgeAR
+)
+
+func (k AppKind) String() string { return k.inner().String() }
+
+func (k AppKind) inner() dataplane.AppKind {
+	switch k {
+	case AppVideo:
+		return dataplane.Video
+	case AppLiveStream:
+		return dataplane.LiveStream
+	case AppWeb:
+		return dataplane.Web
+	case AppNavigation:
+		return dataplane.Navigation
+	case AppEdgeAR:
+		return dataplane.EdgeAR
+	default:
+		panic(fmt.Sprintf("seed: unknown AppKind %d", int(k)))
+	}
+}
+
+// AppKinds lists all five application profiles in Table 5 order.
+var AppKinds = []AppKind{AppVideo, AppLiveStream, AppWeb, AppNavigation, AppEdgeAR}
+
+// Buffer returns the app's playback buffer (masks short outages).
+func (k AppKind) Buffer() time.Duration { return dataplane.Spec(k.inner()).Buffer }
+
+// Testbed is the emulated testbed of Figure 10: one core network (with the
+// SEED infrastructure plugin attached), an emulated internet, and any
+// number of devices.
+type Testbed struct {
+	kern     *sched.Kernel
+	net      *core5g.Network
+	plugin   *core.InfraPlugin
+	internet *dataplane.Internet
+
+	carrierKey [16]byte
+	devices    []*Device
+	seq        int
+
+	cells *core5g.Cells
+}
+
+// New creates a testbed whose randomness derives from seed.
+func New(seedVal int64) *Testbed {
+	k := sched.New(seedVal)
+	net := core5g.NewNetwork(k, core5g.DefaultNetworkConfig())
+	tb := &Testbed{
+		kern:     k,
+		net:      net,
+		plugin:   core.NewInfraPlugin(k, net),
+		internet: dataplane.NewInternet(k, net.UPF),
+	}
+	copy(tb.carrierKey[:], "seed-carrier-key")
+	return tb
+}
+
+// Now returns the current virtual time.
+func (tb *Testbed) Now() time.Duration { return tb.kern.Now() }
+
+// Advance runs the simulation for d of virtual time.
+func (tb *Testbed) Advance(d time.Duration) { tb.kern.RunFor(d) }
+
+// RunUntil executes events until the predicate holds or the deadline
+// passes, checking after every event. It reports whether the predicate
+// was satisfied.
+func (tb *Testbed) RunUntil(pred func() bool, deadline time.Duration) bool {
+	limit := tb.kern.Now() + deadline
+	for tb.kern.Now() < limit {
+		if pred() {
+			return true
+		}
+		if !tb.kern.Step() {
+			break
+		}
+	}
+	return pred()
+}
+
+// After schedules fn at virtual-time offset d (for scripting scenarios).
+func (tb *Testbed) After(d time.Duration, fn func()) { tb.kern.After(d, fn) }
+
+// Devices returns the devices created so far.
+func (tb *Testbed) Devices() []*Device { return append([]*Device(nil), tb.devices...) }
+
+// SetCongestion toggles the infrastructure congestion-warning path: while
+// on, SEED diagnosis deliveries tell SIMs to wait instead of resetting.
+func (tb *Testbed) SetCongestion(on bool, wait time.Duration) {
+	tb.plugin.SetCongestion(on, uint16(wait/time.Second))
+}
+
+// CoreSignalingLoad returns the total NAS messages the core processed.
+func (tb *Testbed) CoreSignalingLoad() int { return tb.net.SignalingLoad() }
+
+// EnableCells turns the testbed into an n-cell deployment sharing one
+// core. contextLossProb is the chance a handover's context transfer fails
+// (producing the §2 identity-desync failures). Call before creating
+// devices.
+func (tb *Testbed) EnableCells(n int, contextLossProb float64) {
+	if tb.cells == nil {
+		tb.cells = core5g.NewCells(tb.kern, tb.net, n)
+	}
+	tb.cells.ContextLossProb = contextLossProb
+}
+
+// ServingCell returns the cell currently serving the device (0 before
+// EnableCells or any handover).
+func (tb *Testbed) ServingCell(d *Device) int {
+	if tb.cells == nil {
+		return 0
+	}
+	return tb.cells.ServingCell(d.IMSI())
+}
+
+// Handover moves the device to the target cell and triggers its mobility
+// registration in the new tracking area. With forceContextLoss (or per
+// the configured probability) the core loses the UE context in transit.
+// It reports whether the context transfer survived.
+func (tb *Testbed) Handover(d *Device, cell int, forceContextLoss bool) bool {
+	if tb.cells == nil {
+		return false
+	}
+	okHO, err := tb.cells.Handover(d.IMSI(), cell, forceContextLoss)
+	if err != nil {
+		return false
+	}
+	d.inner.Mdm.SimulateMobility()
+	return okHO
+}
+
+// Handovers returns (handovers performed, context transfers lost).
+func (tb *Testbed) Handovers() (int, int) {
+	if tb.cells == nil {
+		return 0, 0
+	}
+	return tb.cells.Stats()
+}
+
+// DeviceOption customizes a device at creation.
+type DeviceOption func(*core.DeviceConfig)
+
+// WithAndroidRecommendedTimers applies the 21 s/6 s/16 s recovery-action
+// intervals the paper uses as its tuned baseline.
+func WithAndroidRecommendedTimers() DeviceOption {
+	return func(c *core.DeviceConfig) {
+		c.Android.ActionIntervals = []time.Duration{
+			21 * time.Second, 6 * time.Second, 16 * time.Second,
+		}
+	}
+}
+
+// WithStaleDNN makes the device's SIM profile carry dnn instead of the
+// subscription default (the outdated-configuration failure injections).
+func WithStaleDNN(dnn string) DeviceOption {
+	return func(c *core.DeviceConfig) { c.Profile.DNN = dnn }
+}
+
+// WithProactiveAT enables the §9 rootless-SEED-R extension: the modem
+// supports the TS 102 223 RUN AT COMMAND proactive command, so a SEED-U
+// device can drive the fast B-tier resets without root on the phone.
+func WithProactiveAT() DeviceOption {
+	return func(c *core.DeviceConfig) { c.Applet.UseProactiveAT = true }
+}
+
+// WithNaiveFullReset replaces SEED's targeted multi-tier decision with an
+// always-reset-everything policy (an ablation arm: every diagnosis
+// triggers the hardware tier).
+func WithNaiveFullReset() DeviceOption {
+	return func(c *core.DeviceConfig) { c.Applet.NaiveFullReset = true }
+}
+
+// NewDevice provisions a subscriber and builds a device of the given mode
+// attached to the testbed network. The subscription's default DNN is
+// "internet" with the carrier LDNS.
+func (tb *Testbed) NewDevice(mode Mode, opts ...DeviceOption) *Device {
+	tb.seq++
+	imsi := fmt.Sprintf("310170%09d", tb.seq)
+	var k, op [16]byte
+	copy(k[:], imsi+"-key-material-")
+	copy(op[:], "seed-operator-op")
+
+	sub := &core5g.Subscriber{
+		IMSI: imsi, K: k, OP: op,
+		Authorized: true, PlanActive: true,
+		SEEDEnabled: mode != ModeLegacy,
+		DefaultDNN:  "internet",
+		AllowedDNNs: []string{"internet", "ims"},
+		Sessions: map[string]core5g.SessionConfig{
+			"internet": {DNS: []nas.Addr{core5g.LDNSAddr}, QoS: nas.QoS{FiveQI: 9, UplinkKbps: 100000, DownKbps: 500000}},
+			"ims":      {DNS: []nas.Addr{core5g.LDNSAddr}, QoS: nas.QoS{FiveQI: 5}},
+		},
+	}
+	if err := tb.net.UDM.AddSubscriber(sub); err != nil {
+		panic(fmt.Sprintf("seed: provisioning %s: %v", imsi, err))
+	}
+
+	cfg := core.DefaultDeviceConfig(imsi, sim.Profile{
+		IMSI: imsi, K: k, OP: op,
+		PLMNs: []uint32{modem.ServingPLMN},
+		DNN:   "internet",
+		DNS:   [][4]byte{core5g.LDNSAddr},
+		SST:   1,
+	}, tb.carrierKey, mode.deviceMode())
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	inner, err := core.NewDevice(tb.kern, cfg, tb.net)
+	if err != nil {
+		panic(fmt.Sprintf("seed: building device %s: %v", imsi, err))
+	}
+	if tb.cells != nil {
+		// Re-home the radio through the cell manager: uplink goes to the
+		// serving gNB of the moment, and handovers re-attach the
+		// downlink transparently.
+		tb.net.GNB.DetachUE(imsi)
+		tb.cells.Register(imsi, inner.Radio.B2A.Send)
+		inner.Radio.SetHandlers(func(frame any) {
+			tb.cells.ServingGNB(imsi).HandleUplink(frame)
+		}, inner.Mdm.HandleDownlink)
+	}
+	d := &Device{tb: tb, inner: inner, mode: mode}
+	// Hooks dispatch through slices so injections and user code can both
+	// observe events without clobbering each other.
+	inner.OnReject = func(epd byte, code uint8) {
+		for _, fn := range d.rejectFns {
+			fn(epd, code)
+		}
+	}
+	inner.OnConnectivity = func(up bool) {
+		for _, fn := range d.connFns {
+			fn(up)
+		}
+	}
+	inner.OnUserNotice = func(text string) {
+		for _, fn := range d.noticeFns {
+			fn(text)
+		}
+	}
+	inner.OnProfileReload = func() {
+		for _, fn := range d.reloadFns {
+			fn()
+		}
+	}
+	tb.devices = append(tb.devices, d)
+	return d
+}
+
+// Device is one emulated handset on the testbed.
+type Device struct {
+	tb    *Testbed
+	inner *core.Device
+	mode  Mode
+
+	rejectFns []func(epd byte, code uint8)
+	connFns   []func(bool)
+	noticeFns []func(string)
+	reloadFns []func()
+}
+
+// IMSI returns the device's subscriber identity.
+func (d *Device) IMSI() string { return d.inner.Cfg.IMSI }
+
+// Mode returns the device's failure-handling mode.
+func (d *Device) Mode() Mode { return d.mode }
+
+// Start powers the device on; it registers and establishes its data
+// session autonomously.
+func (d *Device) Start() { d.inner.Start() }
+
+// Connected reports whether the device has a working data session.
+func (d *Device) Connected() bool { return d.inner.Connected() }
+
+// Registered reports whether the modem is registered.
+func (d *Device) Registered() bool {
+	return d.inner.Mdm.State() == modem.StateRegistered
+}
+
+// State returns the modem's 5GMM state name.
+func (d *Device) State() string { return d.inner.Mdm.State().String() }
+
+// OnConnectivity registers a hook fired on data-connectivity transitions.
+// Hooks accumulate; each registered hook fires on every transition.
+func (d *Device) OnConnectivity(fn func(up bool)) {
+	d.connFns = append(d.connFns, fn)
+}
+
+// OnUserNotice registers a hook for SEED's user notifications.
+func (d *Device) OnUserNotice(fn func(text string)) {
+	d.noticeFns = append(d.noticeFns, fn)
+}
+
+// OnReject registers a hook fired with every standardized reject cause
+// the device receives; controlPlane distinguishes 5GMM from 5GSM causes.
+func (d *Device) OnReject(fn func(controlPlane bool, code uint8)) {
+	d.rejectFns = append(d.rejectFns, func(epd byte, code uint8) {
+		fn(epd == nas.EPD5GMM, code)
+	})
+}
+
+// OnProfileReload registers a hook fired whenever the modem (re)reads the
+// SIM profile.
+func (d *Device) OnProfileReload(fn func()) {
+	d.reloadFns = append(d.reloadFns, fn)
+}
+
+// OnSignaling registers a trace hook fired for every NAS message the
+// device sends (sent=true) or receives, with its human-readable name.
+func (d *Device) OnSignaling(fn func(sent bool, name string)) {
+	prev := d.inner.OnNAS
+	d.inner.OnNAS = func(sent bool, msg nas.Message) {
+		if prev != nil {
+			prev(sent, msg)
+		}
+		fn(sent, nas.Name(msg.EPD(), msg.MessageType()))
+	}
+}
+
+// AddApp installs an application traffic emulator.
+func (d *Device) AddApp(kind AppKind) *App {
+	return &App{inner: d.inner.AddApp(kind.inner()), kind: kind}
+}
+
+// Reboot power-cycles the modem.
+func (d *Device) Reboot() { d.inner.Mdm.Reboot() }
+
+// FastDataReset runs the Fig 6 data-plane reset directly (a DIAG session
+// holds the radio bearer while the data session cycles; no reattach).
+func (d *Device) FastDataReset() { d.inner.CApp.FastDataReset() }
+
+// RunAT executes an AT command on the modem (for scripting; SEED-R uses
+// this path internally).
+func (d *Device) RunAT(cmd string) (string, error) { return d.inner.Mdm.Execute(cmd) }
+
+// SIMOperations returns the total SIM operations performed (the energy
+// model input).
+func (d *Device) SIMOperations() int {
+	st := d.inner.Card.Stats()
+	return st.APDUs + st.AuthOps + st.Envelopes + st.Proactives
+}
+
+// DiagnosesReceived returns how many SEED diagnosis messages the SIM
+// applet consumed (0 in legacy mode).
+func (d *Device) DiagnosesReceived() int {
+	if d.inner.Applet == nil {
+		return 0
+	}
+	return d.inner.Applet.Stats().DiagsReceived
+}
+
+// ActionCounts returns the multi-tier reset actions executed, keyed by
+// action name (empty in legacy mode).
+func (d *Device) ActionCounts() map[string]int {
+	out := map[string]int{}
+	if d.inner.Applet == nil {
+		return out
+	}
+	for a, n := range d.inner.Applet.Stats().Actions {
+		out[a.String()] = n
+	}
+	return out
+}
+
+// UserNoticeCount returns how many user-action notifications SEED raised.
+func (d *Device) UserNoticeCount() int {
+	if d.inner.Applet == nil {
+		return 0
+	}
+	return d.inner.Applet.Stats().UserNotices
+}
+
+// Reboots returns the modem reboot count (legacy ladder escalations and
+// SEED B1 resets).
+func (d *Device) Reboots() int { return d.inner.Mdm.Stats().Reboots }
+
+// App is an application traffic emulator bound to a device.
+type App struct {
+	inner *dataplane.App
+	kind  AppKind
+}
+
+// Kind returns the application profile.
+func (a *App) Kind() AppKind { return a.kind }
+
+// Start begins traffic generation.
+func (a *App) Start() { a.inner.Start() }
+
+// Stop halts traffic generation.
+func (a *App) Stop() { a.inner.Stop() }
+
+// OnSuccess registers a hook fired on each successful app response.
+func (a *App) OnSuccess(fn func()) { a.inner.OnSuccess = fn }
+
+// LastSuccess returns the virtual time of the last successful response
+// (negative before any).
+func (a *App) LastSuccess() time.Duration { return a.inner.LastSuccess() }
+
+// Requests returns (sent, succeeded, failed, reported) counters.
+func (a *App) Requests() (sent, ok, failed, reported int) {
+	st := a.inner.Stats()
+	return st.Requests, st.Successes, st.Failures, st.Reports
+}
