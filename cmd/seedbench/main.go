@@ -5,71 +5,192 @@
 //
 //	seedbench [-exp all|table1|table2|table3|table4|table5|figure2|figure3|
 //	           figure11a|figure11b|figure12|figure13|coverage|learning]
-//	          [-samples N] [-seed S]
+//	          [-samples N] [-seed S] [-parallel P] [-json FILE]
 //
 // Everything runs on the virtual clock: regenerating the full evaluation
-// takes seconds of wall time.
+// takes seconds of wall time. Independent scenario cells fan across
+// -parallel worker goroutines (default GOMAXPROCS); results are
+// bit-for-bit identical at any parallelism. With -parallel > 1 each
+// experiment also runs once sequentially so the per-experiment speedup
+// against the recorded sequential baseline can be reported — and the two
+// outputs are compared byte-for-byte as a live determinism check.
+//
+// -json FILE writes machine-readable per-experiment results and
+// wall-clock timings ("-" for stdout), the format the BENCH_*.json perf
+// trajectory consumes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	seed "github.com/seed5g/seed"
 )
 
+// expTiming is one experiment's machine-readable record.
+type expTiming struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+	// SequentialWallMS and Speedup are present when -parallel > 1: the
+	// same experiment re-run with one worker as the baseline.
+	SequentialWallMS float64 `json:"sequential_wall_ms,omitempty"`
+	Speedup          float64 `json:"speedup,omitempty"`
+	// Deterministic reports that the parallel output matched the
+	// sequential baseline byte-for-byte (always true when no baseline
+	// was run).
+	Deterministic bool `json:"deterministic"`
+}
+
+// benchReport is the top-level -json document.
+type benchReport struct {
+	Seed                  int64       `json:"seed"`
+	Samples               int         `json:"samples"`
+	Parallel              int         `json:"parallel"`
+	GOMAXPROCS            int         `json:"gomaxprocs"`
+	Experiments           []expTiming `json:"experiments"`
+	TotalWallMS           float64     `json:"total_wall_ms"`
+	TotalSequentialWallMS float64     `json:"total_sequential_wall_ms,omitempty"`
+	TotalSpeedup          float64     `json:"total_speedup,omitempty"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, table1..5, figure2/3/11a/11b/12/13, coverage, learning)")
 	samples := flag.Int("samples", 100, "replayed failure cases per class for the dataset-driven experiments")
 	seedVal := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "scenario worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	jsonOut := flag.String("json", "", "write machine-readable results and timings to this file (- for stdout)")
 	cdfOut := flag.String("cdf", "", "also write the Figure 2 CDFs as CSV to this file")
 	flag.Parse()
 
-	run := func(name string, fn func()) {
-		if *exp != "all" && *exp != name {
-			return
-		}
-		start := time.Now()
-		fn()
-		fmt.Printf("  [%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
-	}
+	seed.SetParallelism(*parallel)
+	workers := seed.Parallelism()
 
 	ds := seed.GenerateDataset(*seedVal)
 
-	run("table1", func() { fmt.Print(ds.RenderTable1()) })
-	run("table2", func() { fmt.Print(table2()) })
-	run("table3", func() { fmt.Print(table3()) })
-	run("figure2", func() {
-		res := seed.ExperimentFigure2(ds, *samples, *seedVal)
-		fmt.Print(res.Render())
-		if *cdfOut != "" {
-			if err := writeCDFCSV(*cdfOut, res); err != nil {
-				fmt.Fprintf(os.Stderr, "cdf: %v\n", err)
-			} else {
-				fmt.Printf("  [CDF points written to %s]\n", *cdfOut)
-			}
-		}
-	})
-	run("figure3", func() { fmt.Print(seed.ExperimentFigure3(max(8, *samples/10), *seedVal).Render()) })
-	run("table4", func() { fmt.Print(seed.ExperimentTable4(ds, *samples, *seedVal).Render()) })
-	run("table5", func() { fmt.Print(seed.ExperimentTable5(3, *seedVal).Render()) })
-	run("figure11a", func() { fmt.Print(seed.ExperimentFigure11a(*seedVal).Render()) })
-	run("figure11b", func() { fmt.Print(seed.ExperimentFigure11b(*seedVal).Render()) })
-	run("figure12", func() { fmt.Print(seed.ExperimentFigure12(50, *seedVal).Render()) })
-	run("figure13", func() { fmt.Print(seed.ExperimentFigure13(*seedVal).Render()) })
-	run("coverage", func() { fmt.Print(seed.ExperimentCoverage(ds, *samples, *seedVal).Render()) })
-	run("learning", func() { fmt.Print(seed.ExperimentLearning(6, 4, 50, *seedVal).Render()) })
+	var fig2 seed.Figure2Result
+	experiments := []struct {
+		name string
+		run  func() string
+	}{
+		{"table1", func() string { return ds.RenderTable1() }},
+		{"table2", table2},
+		{"table3", table3},
+		{"figure2", func() string {
+			fig2 = seed.ExperimentFigure2(ds, *samples, *seedVal)
+			return fig2.Render()
+		}},
+		{"figure3", func() string { return seed.ExperimentFigure3(max(8, *samples/10), *seedVal).Render() }},
+		{"table4", func() string { return seed.ExperimentTable4(ds, *samples, *seedVal).Render() }},
+		{"table5", func() string { return seed.ExperimentTable5(3, *seedVal).Render() }},
+		{"figure11a", func() string { return seed.ExperimentFigure11a(*seedVal).Render() }},
+		{"figure11b", func() string { return seed.ExperimentFigure11b(*seedVal).Render() }},
+		{"figure12", func() string { return seed.ExperimentFigure12(50, *seedVal).Render() }},
+		{"figure13", func() string { return seed.ExperimentFigure13(*seedVal).Render() }},
+		{"coverage", func() string { return seed.ExperimentCoverage(ds, *samples, *seedVal).Render() }},
+		{"learning", func() string { return seed.ExperimentLearning(6, 4, 50, *seedVal).Render() }},
+	}
 
 	if *exp != "all" {
-		known := "table1 table2 table3 table4 table5 figure2 figure3 figure11a figure11b figure12 figure13 coverage learning"
-		if !strings.Contains(known, *exp) {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (known: all %s)\n", *exp, known)
+		known := false
+		for _, e := range experiments {
+			if e.name == *exp {
+				known = true
+			}
+		}
+		if !known {
+			var names []string
+			for _, e := range experiments {
+				names = append(names, e.name)
+			}
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (known: all %s)\n", *exp, strings.Join(names, " "))
 			os.Exit(2)
 		}
 	}
+
+	report := benchReport{
+		Seed: *seedVal, Samples: *samples,
+		Parallel: workers, GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		t := expTiming{Name: e.name, Deterministic: true}
+
+		var baseline string
+		if workers > 1 {
+			// Recorded sequential baseline: same experiment, one worker.
+			seed.SetParallelism(1)
+			start := time.Now()
+			baseline = e.run()
+			t.SequentialWallMS = msSince(start)
+			seed.SetParallelism(workers)
+		}
+
+		start := time.Now()
+		out := e.run()
+		t.WallMS = msSince(start)
+
+		fmt.Print(out)
+		if workers > 1 {
+			t.Speedup = t.SequentialWallMS / t.WallMS
+			t.Deterministic = out == baseline
+			fmt.Printf("  [%s regenerated in %.0fms; sequential %.0fms; speedup %.2fx @%d workers]\n",
+				e.name, t.WallMS, t.SequentialWallMS, t.Speedup, workers)
+			if !t.Deterministic {
+				fmt.Fprintf(os.Stderr, "WARNING: %s parallel output differs from the sequential baseline\n", e.name)
+			}
+		} else {
+			fmt.Printf("  [%s regenerated in %.0fms]\n", e.name, t.WallMS)
+		}
+		fmt.Println()
+
+		report.Experiments = append(report.Experiments, t)
+		report.TotalWallMS += t.WallMS
+		report.TotalSequentialWallMS += t.SequentialWallMS
+	}
+	if report.TotalWallMS > 0 && report.TotalSequentialWallMS > 0 {
+		report.TotalSpeedup = report.TotalSequentialWallMS / report.TotalWallMS
+		fmt.Printf("total wall-clock %.0fms vs sequential %.0fms: %.2fx speedup @%d workers\n",
+			report.TotalWallMS, report.TotalSequentialWallMS, report.TotalSpeedup, workers)
+	}
+
+	if *cdfOut != "" && (*exp == "all" || *exp == "figure2") {
+		if err := writeCDFCSV(*cdfOut, fig2); err != nil {
+			fmt.Fprintf(os.Stderr, "cdf: %v\n", err)
+		} else {
+			fmt.Printf("[CDF points written to %s]\n", *cdfOut)
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, report); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// writeJSON dumps the report ("-" selects stdout).
+func writeJSON(path string, report benchReport) error {
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
 }
 
 // writeCDFCSV dumps the Figure 2 curves as plane,seconds,fraction rows.

@@ -8,6 +8,7 @@ import (
 	"github.com/seed5g/seed/internal/cause"
 	"github.com/seed5g/seed/internal/core"
 	"github.com/seed5g/seed/internal/metrics"
+	"github.com/seed5g/seed/internal/sched"
 )
 
 // benignDiag is a congestion notice with zero wait: it exercises the full
@@ -73,29 +74,40 @@ func disruptionRow(class string, mode Mode, series *metrics.Series, unrecov int)
 // ExperimentTable4 replays sampled management failures and delivery
 // failures under all three schemes and reports the disruption percentiles
 // of Table 4. samplesPerClass bounds replay count per (class, mode).
+//
+// Every (case, mode) pair is one independent scenario cell; the flat cell
+// list fans across the worker pool and shard-local series merge
+// order-independently, so the table is identical at any parallelism. The
+// three schemes replay a given case on the same derived seed (a paired
+// comparison).
 func ExperimentTable4(ds *Dataset, samplesPerClass int, seedVal int64) Table4Result {
-	var res Table4Result
-	for _, control := range []bool{true, false} {
+	type cell struct {
+		group string
+		key   uint64
+		run   func(cellSeed int64) (recovered bool, d time.Duration)
+	}
+	var cells []cell
+	for family, control := range []bool{true, false} {
 		class := "Data Plane"
 		if control {
 			class = "Control Plane"
 		}
 		cases := sampleCases(ds, control, samplesPerClass)
 		for _, mode := range Modes {
-			series := metrics.NewSeries(class + "/" + mode.String())
-			unrecov := 0
+			group := class + "/" + mode.String()
 			for i, fc := range cases {
 				if fc.Scenario == ScenarioUserAction {
 					continue // excluded: no scheme can recover them
 				}
-				r := ReplayManagement(fc, mode, seedVal+int64(i))
-				if r.Recovered {
-					series.Add(r.Disruption)
-				} else {
-					unrecov++
-				}
+				cells = append(cells, cell{
+					group: group,
+					key:   cellKey(uint64(family), i),
+					run: func(cellSeed int64) (bool, time.Duration) {
+						r := ReplayManagement(fc, mode, cellSeed)
+						return r.Recovered, r.Disruption
+					},
+				})
 			}
-			res.Rows = append(res.Rows, disruptionRow(class, mode, series, unrecov))
 		}
 	}
 	// Data delivery: the reconnection-fixable class for the legacy
@@ -105,20 +117,35 @@ func ExperimentTable4(ds *Dataset, samplesPerClass int, seedVal int64) Table4Res
 		delivery = delivery[:samplesPerClass]
 	}
 	for _, mode := range Modes {
-		series := metrics.NewSeries("Data Delivery/" + mode.String())
-		unrecov := 0
+		group := "Data Delivery/" + mode.String()
 		for i, dc := range delivery {
 			if mode == ModeLegacy && dc.Kind != DeliveryStalledGateway {
 				continue // legacy cannot fix network-side blocks/DNS
 			}
-			r := ReplayDelivery(dc, mode, seedVal+int64(i))
-			if r.Recovered {
-				series.Add(r.HandlingTime)
-			} else {
-				unrecov++
-			}
+			cells = append(cells, cell{
+				group: group,
+				key:   cellKey(2, i),
+				run: func(cellSeed int64) (bool, time.Duration) {
+					r := ReplayDelivery(dc, mode, cellSeed)
+					return r.Recovered, r.HandlingTime
+				},
+			})
 		}
-		res.Rows = append(res.Rows, disruptionRow("Data Delivery", mode, series, unrecov))
+	}
+	acc := collectCells(len(cells), func(i int, a *shardAcc) {
+		c := cells[i]
+		if ok, d := c.run(sched.DeriveSeed(seedVal, c.key)); ok {
+			a.add(c.group, d)
+		} else {
+			a.count(c.group)
+		}
+	})
+	var res Table4Result
+	for _, class := range []string{"Control Plane", "Data Plane", "Data Delivery"} {
+		for _, mode := range Modes {
+			group := class + "/" + mode.String()
+			res.Rows = append(res.Rows, disruptionRow(class, mode, acc.get(group), acc.counts[group]))
+		}
 	}
 	return res
 }
@@ -156,36 +183,51 @@ type Figure2Result struct {
 }
 
 // ExperimentFigure2 replays sampled management failures with legacy
-// handling only and returns the disruption CDFs of Figure 2.
+// handling only and returns the disruption CDFs of Figure 2. Each replay
+// is one scenario cell on the worker pool.
 func ExperimentFigure2(ds *Dataset, samplesPerPlane int, seedVal int64) Figure2Result {
-	var res Figure2Result
-	for _, control := range []bool{true, false} {
-		series := metrics.NewSeries("fig2")
-		cases := sampleCases(ds, control, samplesPerPlane)
-		unrecov, total := 0, 0
-		for i, fc := range cases {
+	type cell struct {
+		plane string
+		key   uint64
+		fc    FailureCase
+	}
+	var cells []cell
+	for family, control := range []bool{true, false} {
+		plane := "data"
+		if control {
+			plane = "control"
+		}
+		for i, fc := range sampleCases(ds, control, samplesPerPlane) {
 			if fc.Scenario == ScenarioUserAction {
 				continue
 			}
-			total++
-			r := ReplayManagement(fc, ModeLegacy, seedVal+int64(i))
-			if r.Recovered {
-				series.Add(r.Disruption)
-			} else {
-				unrecov++
-			}
+			cells = append(cells, cell{plane: plane, key: cellKey(uint64(family), i), fc: fc})
 		}
+	}
+	acc := collectCells(len(cells), func(i int, a *shardAcc) {
+		c := cells[i]
+		a.count(c.plane + "/total")
+		r := ReplayManagement(c.fc, ModeLegacy, sched.DeriveSeed(seedVal, c.key))
+		if r.Recovered {
+			a.add(c.plane, r.Disruption)
+		} else {
+			a.count(c.plane + "/unrecov")
+		}
+	})
+	var res Figure2Result
+	for _, plane := range []string{"control", "data"} {
+		series := acc.get(plane)
+		total := acc.counts[plane+"/total"]
 		var pts []CDFPoint
 		scale := float64(series.Len()) / float64(total)
 		for _, p := range series.CDF() {
 			pts = append(pts, CDFPoint{Seconds: p.X.Seconds(), Fraction: p.F * scale})
 		}
-		if control {
-			res.Control = pts
-			res.ControlUnrecovered = float64(unrecov) / float64(total)
+		unrec := float64(acc.counts[plane+"/unrecov"]) / float64(total)
+		if plane == "control" {
+			res.Control, res.ControlUnrecovered = pts, unrec
 		} else {
-			res.Data = pts
-			res.DataUnrecovered = float64(unrecov) / float64(total)
+			res.Data, res.DataUnrecovered = pts, unrec
 		}
 	}
 	return res
@@ -252,49 +294,69 @@ type Figure3Result struct {
 // blocking here covers all UDP including DNS — the only way Android ever
 // notices it.
 func ExperimentFigure3(samples int, seedVal int64) Figure3Result {
-	run := func(kind DeliveryFailureKind, blockDNSToo bool) LatencyStats {
-		series := metrics.NewSeries(kind.String())
-		undetected := 0
-		for i := 0; i < samples; i++ {
-			tb := New(seedVal + int64(i)*31)
-			d := tb.NewDevice(ModeLegacy)
-			video := d.AddApp(AppVideo)
-			web := d.AddApp(AppWeb)
-			d.Start()
-			if !tb.RunUntil(d.Connected, connectDeadline) {
-				undetected++
-				continue
-			}
-			video.Start()
-			web.Start()
-			// Stagger onset within the monitor's polling period so the
-			// latency distribution reflects the phase uniformly.
-			tb.Advance(2*time.Minute + (time.Duration(i)*7919*time.Millisecond)%time.Minute)
-			onset := tb.Now()
-			switch kind {
-			case DeliveryTCPBlock:
-				tb.BlockTCP(d)
-			case DeliveryUDPBlock:
-				tb.BlockUDP(d)
-				if blockDNSToo {
-					tb.SetDNSOutage(true)
-				}
-			case DeliveryDNSOutage:
-				tb.SetDNSOutage(true)
-			}
-			if tb.RunUntil(d.inner.Mon.Stalled, 25*time.Minute) {
-				series.Add(tb.Now() - onset)
-			} else {
-				undetected++
-			}
+	kinds := []struct {
+		kind        DeliveryFailureKind
+		blockDNSToo bool
+	}{
+		{DeliveryTCPBlock, false},
+		{DeliveryUDPBlock, true},
+		{DeliveryDNSOutage, false},
+	}
+	// 3*samples independent cells; trial i shares its derived seed across
+	// the three blocking kinds (paired comparison).
+	acc := collectCells(len(kinds)*samples, func(ci int, a *shardAcc) {
+		k := kinds[ci/samples]
+		i := ci % samples
+		ok, lat := figure3Trial(k.kind, k.blockDNSToo, i, sched.DeriveSeed(seedVal, cellKey(0, i)))
+		if ok {
+			a.add(k.kind.String(), lat)
+		} else {
+			a.count(k.kind.String() + "/undetected")
 		}
-		return statsFromSeries(kind.String(), series, undetected)
+	})
+	stats := func(kind DeliveryFailureKind) LatencyStats {
+		return statsFromSeries(kind.String(), acc.get(kind.String()),
+			acc.counts[kind.String()+"/undetected"])
 	}
 	return Figure3Result{
-		TCP: run(DeliveryTCPBlock, false),
-		UDP: run(DeliveryUDPBlock, true),
-		DNS: run(DeliveryDNSOutage, false),
+		TCP: stats(DeliveryTCPBlock),
+		UDP: stats(DeliveryUDPBlock),
+		DNS: stats(DeliveryDNSOutage),
 	}
+}
+
+// figure3Trial runs one detection-latency cell: boot, steady state,
+// block, and wait for the Android monitor to notice.
+func figure3Trial(kind DeliveryFailureKind, blockDNSToo bool, i int, cellSeed int64) (bool, time.Duration) {
+	tb := New(cellSeed)
+	d := tb.NewDevice(ModeLegacy)
+	video := d.AddApp(AppVideo)
+	web := d.AddApp(AppWeb)
+	d.Start()
+	if !tb.RunUntil(d.Connected, connectDeadline) {
+		return false, 0
+	}
+	video.Start()
+	web.Start()
+	// Stagger onset within the monitor's polling period so the
+	// latency distribution reflects the phase uniformly.
+	tb.Advance(2*time.Minute + (time.Duration(i)*7919*time.Millisecond)%time.Minute)
+	onset := tb.Now()
+	switch kind {
+	case DeliveryTCPBlock:
+		tb.BlockTCP(d)
+	case DeliveryUDPBlock:
+		tb.BlockUDP(d)
+		if blockDNSToo {
+			tb.SetDNSOutage(true)
+		}
+	case DeliveryDNSOutage:
+		tb.SetDNSOutage(true)
+	}
+	if !tb.RunUntil(d.inner.Mon.Stalled, 25*time.Minute) {
+		return false, 0
+	}
+	return true, tb.Now() - onset
 }
 
 // Render formats the detection latency summary.
@@ -331,18 +393,40 @@ type Table5Result struct {
 // §7.1.2 applications under a representative failure per class, with the
 // recommended Android timers.
 func ExperimentTable5(trials int, seedVal int64) Table5Result {
-	var res Table5Result
 	classes := []string{"C-plane", "D-plane", "D-Delivery"}
+	type cell struct {
+		app   AppKind
+		class string
+		mode  Mode
+		trial int
+	}
+	var cells []cell
 	for _, app := range AppKinds {
 		for _, class := range classes {
 			for _, mode := range Modes {
-				outage := metrics.NewSeries("outage")
-				for i := 0; i < trials; i++ {
-					o := runAppDisruptionTrial(app, class, mode, seedVal+int64(i)*101)
-					if o >= 0 {
-						outage.Add(o)
-					}
+				for t := 0; t < trials; t++ {
+					cells = append(cells, cell{app, class, mode, t})
 				}
+			}
+		}
+	}
+	// Trial t shares one derived seed across every (app, class, mode)
+	// arm, keeping the cross-scheme comparison paired.
+	group := func(app AppKind, class string, mode Mode) string {
+		return app.String() + "|" + class + "|" + mode.String()
+	}
+	acc := collectCells(len(cells), func(i int, a *shardAcc) {
+		c := cells[i]
+		o := runAppDisruptionTrial(c.app, c.class, c.mode, sched.DeriveSeed(seedVal, cellKey(0, c.trial)))
+		if o >= 0 {
+			a.add(group(c.app, c.class, c.mode), o)
+		}
+	})
+	var res Table5Result
+	for _, app := range AppKinds {
+		for _, class := range classes {
+			for _, mode := range Modes {
+				outage := acc.get(group(app, class, mode))
 				perceived := outage.Mean() - app.Buffer()
 				if perceived < 0 {
 					perceived = 0
@@ -474,10 +558,12 @@ func ExperimentFigure11a(seedVal int64) Figure11aResult {
 }
 
 // measureSignalingOverhead runs the same failure burst against a SEED and
-// a legacy device and returns the extra core messages per failure.
+// a legacy device and returns the extra core messages per failure. The
+// two arms are independent cells on the worker pool sharing one derived
+// seed (a paired comparison).
 func measureSignalingOverhead(seedVal int64) float64 {
-	run := func(mode Mode) int {
-		tb := New(seedVal)
+	run := func(mode Mode, cellSeed int64) int {
+		tb := New(cellSeed)
 		d := tb.NewDevice(mode)
 		d.Start()
 		tb.RunUntil(d.Connected, connectDeadline)
@@ -490,7 +576,14 @@ func measureSignalingOverhead(seedVal int64) float64 {
 		}
 		return (tb.CoreSignalingLoad() - base) / failures
 	}
-	return float64(run(ModeSEEDU) - run(ModeLegacy))
+	arms := mapCells(2, func(i int) int {
+		mode := ModeSEEDU
+		if i == 1 {
+			mode = ModeLegacy
+		}
+		return run(mode, sched.DeriveSeed(seedVal, cellKey(0, 0)))
+	})
+	return float64(arms[0] - arms[1])
 }
 
 // Render formats the curve.
@@ -530,6 +623,8 @@ type Figure11bResult struct {
 // ExperimentFigure11b runs the §7.2.1 stress test — one SIM diagnosis per
 // second for 30 minutes — on a real device simulation, then converts the
 // measured operation counts to battery drain with the calibrated model.
+// A single shared kernel carries the whole stress run, so this experiment
+// is one cell: inherently sequential at any pool parallelism.
 func ExperimentFigure11b(seedVal int64) Figure11bResult {
 	tb := New(seedVal)
 	d := tb.NewDevice(ModeSEEDU)
@@ -600,6 +695,8 @@ type Figure12Result struct {
 
 // ExperimentFigure12 measures the real-time collaboration channel's
 // preparation and transmission latency over n exchanges per direction.
+// The exchanges share one device and kernel (uplink state feeds the next
+// exchange), so this experiment is one sequential cell.
 func ExperimentFigure12(n int, seedVal int64) Figure12Result {
 	tb := New(seedVal)
 	d := tb.NewDevice(ModeSEEDR)
@@ -673,28 +770,39 @@ type Figure13Result struct {
 
 // ExperimentFigure13 measures the recovery time of each reset tier under
 // the legacy ladder (recommended intervals) and SEED's direct actions.
+// The nine (tier, scheme) measurements are independent cells; the three
+// arms of one tier share a derived seed (paired comparison).
 func ExperimentFigure13(seedVal int64) Figure13Result {
+	tiers := []struct {
+		level      string
+		rung       int
+		actU, actR string
+	}{
+		{"Hardware", 3, "A1", "B1"},
+		{"C-Plane", 2, "A2", "B2"},
+		{"D-Plane", 1, "A3", "B3"},
+	}
+	durs := mapCells(len(tiers)*3, func(i int) time.Duration {
+		tier := tiers[i/3]
+		cellSeed := sched.DeriveSeed(seedVal, cellKey(0, i/3))
+		switch i % 3 {
+		case 0:
+			return legacyLadderTime(cellSeed, tier.rung)
+		case 1:
+			return seedResetTime(cellSeed, ModeSEEDU, tier.actU)
+		default:
+			return seedResetTime(cellSeed, ModeSEEDR, tier.actR)
+		}
+	})
 	var res Figure13Result
-	res.Rows = append(res.Rows,
-		ResetTimeRow{
-			Level:  "Hardware",
-			Legacy: legacyLadderTime(seedVal, 3),
-			SEEDU:  seedResetTime(seedVal, ModeSEEDU, "A1"),
-			SEEDR:  seedResetTime(seedVal, ModeSEEDR, "B1"),
-		},
-		ResetTimeRow{
-			Level:  "C-Plane",
-			Legacy: legacyLadderTime(seedVal+1, 2),
-			SEEDU:  seedResetTime(seedVal+1, ModeSEEDU, "A2"),
-			SEEDR:  seedResetTime(seedVal+1, ModeSEEDR, "B2"),
-		},
-		ResetTimeRow{
-			Level:  "D-Plane",
-			Legacy: legacyLadderTime(seedVal+2, 1),
-			SEEDU:  seedResetTime(seedVal+2, ModeSEEDU, "A3"),
-			SEEDR:  seedResetTime(seedVal+2, ModeSEEDR, "B3"),
-		},
-	)
+	for ti, tier := range tiers {
+		res.Rows = append(res.Rows, ResetTimeRow{
+			Level:  tier.level,
+			Legacy: durs[ti*3],
+			SEEDU:  durs[ti*3+1],
+			SEEDR:  durs[ti*3+2],
+		})
+	}
 	return res
 }
 
@@ -819,25 +927,34 @@ type CoverageResult struct {
 // handled fractions. A case counts as handled when SEED recovered it (or,
 // for user-action cases, never — matching the paper's accounting).
 func ExperimentCoverage(ds *Dataset, samplesPerPlane int, seedVal int64) CoverageResult {
-	var res CoverageResult
-	for _, control := range []bool{true, false} {
-		handled, total := 0, 0
-		for i, fc := range sampleCases(ds, control, samplesPerPlane) {
-			total++
-			r := ReplayManagement(fc, ModeSEEDU, seedVal+int64(i))
-			if r.Recovered && !r.UserActionRequired {
-				handled++
-			}
-		}
-		frac := float64(handled) / float64(total)
+	type cell struct {
+		plane string
+		key   uint64
+		fc    FailureCase
+	}
+	var cells []cell
+	for family, control := range []bool{true, false} {
+		plane := "data"
 		if control {
-			res.ControlHandled = frac
-			res.ControlN = total
-		} else {
-			res.DataHandled = frac
-			res.DataN = total
+			plane = "control"
+		}
+		for i, fc := range sampleCases(ds, control, samplesPerPlane) {
+			cells = append(cells, cell{plane: plane, key: cellKey(uint64(family), i), fc: fc})
 		}
 	}
+	acc := collectCells(len(cells), func(i int, a *shardAcc) {
+		c := cells[i]
+		a.count(c.plane + "/total")
+		r := ReplayManagement(c.fc, ModeSEEDU, sched.DeriveSeed(seedVal, c.key))
+		if r.Recovered && !r.UserActionRequired {
+			a.count(c.plane + "/handled")
+		}
+	})
+	var res CoverageResult
+	res.ControlN = acc.counts["control/total"]
+	res.DataN = acc.counts["data/total"]
+	res.ControlHandled = float64(acc.counts["control/handled"]) / float64(res.ControlN)
+	res.DataHandled = float64(acc.counts["data/handled"]) / float64(res.DataN)
 	return res
 }
 
@@ -858,7 +975,9 @@ type LearningResult struct {
 // ExperimentLearning reproduces §7.2.4: several devices hit failures from
 // customized (unstandardized) causes — half control-plane functions, half
 // data-plane — 50 times each; the crowd-sourced records must classify
-// every cause to the matching plane's reset actions.
+// every cause to the matching plane's reset actions. All devices share
+// one testbed and the learner's crowd state accumulates across trials, so
+// this experiment is one sequential cell by construction.
 func ExperimentLearning(devices, causesPerPlane, trialsPerCause int, seedVal int64) LearningResult {
 	tb := New(seedVal)
 	tb.plugin.Learner.LR = 0.5

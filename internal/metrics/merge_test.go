@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sec(n int) time.Duration { return time.Duration(n) * time.Second }
+
+func seriesOf(vals ...int) *Series {
+	s := NewSeries("t")
+	for _, v := range vals {
+		s.Add(sec(v))
+	}
+	return s
+}
+
+func summary(s *Series) [4]time.Duration {
+	return [4]time.Duration{s.Median(), s.Percentile(90), s.Mean(), s.Max()}
+}
+
+func TestMergeCommutative(t *testing.T) {
+	build := func(order [][]int) *Series {
+		dst := NewSeries("dst")
+		for _, part := range order {
+			dst.Merge(seriesOf(part...))
+		}
+		return dst
+	}
+	a, b, c := []int{5, 1, 9}, []int{2, 2, 7}, []int{100, 3}
+	want := build([][]int{a, b, c})
+	for _, order := range [][][]int{
+		{a, c, b}, {b, a, c}, {b, c, a}, {c, a, b}, {c, b, a},
+	} {
+		got := build(order)
+		if summary(got) != summary(want) {
+			t.Fatalf("merge order %v changed summary: %v vs %v", order, summary(got), summary(want))
+		}
+		if !reflect.DeepEqual(got.CDF(), want.CDF()) {
+			t.Fatalf("merge order %v changed CDF", order)
+		}
+	}
+}
+
+func TestMergeAfterQueries(t *testing.T) {
+	// Merging into a series that already sorted for a query must
+	// invalidate the cached ordering.
+	s := seriesOf(10, 2)
+	if s.Median() != sec(2) {
+		t.Fatalf("pre-merge median = %v", s.Median())
+	}
+	s.Merge(seriesOf(1, 1, 1))
+	if got := s.Median(); got != sec(1) {
+		t.Fatalf("post-merge median = %v, want 1s", got)
+	}
+	if got := s.Len(); got != 5 {
+		t.Fatalf("post-merge len = %d, want 5", got)
+	}
+}
+
+func TestMergeEmptyAndNil(t *testing.T) {
+	s := seriesOf(4)
+	s.Merge(nil)
+	s.Merge(NewSeries("empty"))
+	if s.Len() != 1 || s.Median() != sec(4) {
+		t.Fatalf("no-op merges changed the series: n=%d median=%v", s.Len(), s.Median())
+	}
+	empty := NewSeries("dst")
+	empty.Merge(seriesOf(3))
+	if empty.Len() != 1 || empty.Median() != sec(3) {
+		t.Fatalf("merge into empty series: n=%d median=%v", empty.Len(), empty.Median())
+	}
+}
+
+func TestMergeLeavesSourceIntact(t *testing.T) {
+	src := seriesOf(1, 2, 3)
+	dst := seriesOf(9)
+	dst.Merge(src)
+	dst.Add(sec(100))
+	if src.Len() != 3 || src.Max() != sec(3) {
+		t.Fatalf("source mutated by merge: n=%d max=%v", src.Len(), src.Max())
+	}
+}
+
+func TestDisruptionMerge(t *testing.T) {
+	now := time.Duration(0)
+	clock := func() time.Duration { return now }
+
+	a := NewDisruption("a", clock)
+	a.Start()
+	now = sec(5)
+	a.End()
+
+	b := NewDisruption("b", clock)
+	b.Start()
+	now = sec(8)
+	b.End()
+	b.Start() // left open: must not transfer
+
+	a.Merge(b)
+	a.Merge(nil)
+	if a.Series.Len() != 2 {
+		t.Fatalf("merged intervals = %d, want 2", a.Series.Len())
+	}
+	if got := a.Series.Max(); got != sec(5) {
+		t.Fatalf("max interval = %v, want 5s (b's was 3s)", got)
+	}
+	if a.Open() {
+		t.Fatal("merge transferred the open interval")
+	}
+}

@@ -33,6 +33,20 @@ func (s *Series) Add(d time.Duration) {
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.samples) }
 
+// Merge absorbs src's samples into s. Series are multisets — every query
+// (percentiles, CDF, mean, max) sorts or sums first — so merging is
+// commutative and associative: shard-local series built by parallel
+// scenario workers combine into the same aggregate regardless of which
+// shard ran which cell or of merge order. src is left unchanged; merging
+// a nil or empty series is a no-op.
+func (s *Series) Merge(src *Series) {
+	if src == nil || len(src.samples) == 0 {
+		return
+	}
+	s.samples = append(s.samples, src.samples...)
+	s.sorted = false
+}
+
 func (s *Series) sort() {
 	if !s.sorted {
 		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
@@ -168,4 +182,14 @@ func (d *Disruption) OpenDuration() time.Duration {
 		return 0
 	}
 	return d.now() - d.started
+}
+
+// Merge absorbs the closed intervals recorded by src. Open intervals do
+// not transfer — each tracker watches its own virtual clock, so an
+// in-progress outage is only meaningful on the kernel that opened it.
+func (d *Disruption) Merge(src *Disruption) {
+	if src == nil {
+		return
+	}
+	d.Series.Merge(src.Series)
 }

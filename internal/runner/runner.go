@@ -1,0 +1,122 @@
+// Package runner is the parallel scenario executor behind the experiment
+// suite. Every experiment in the paper's evaluation replays many
+// independent scenario cells — each a fresh Testbed on its own
+// single-threaded sched.Kernel — so the cells can fan out across worker
+// goroutines while each cell stays perfectly deterministic.
+//
+// Determinism contract: a cell's behaviour must depend only on its index
+// (seeds come from sched.DeriveSeed(rootSeed, cellKey), never from shared
+// RNG state), results are either written to a per-index slot (Map) or
+// folded into shard-local accumulators combined with a commutative merge
+// (Collect). Under that contract the outcome is bit-for-bit identical for
+// any worker count, including the sequential workers=1 path.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a scenario worker pool. The zero value is not usable; call New.
+// A Pool carries no per-run state and may be shared by concurrent runs.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given worker count. workers <= 0 selects
+// GOMAXPROCS, the natural width for CPU-bound simulation cells.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// run executes fn(i) for every i in [0, n), fanning across up to
+// p.workers goroutines. Cells are claimed from a shared atomic counter,
+// so stragglers don't serialize behind a fixed pre-partition.
+func (p *Pool) run(n int, fn func(i int)) {
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn for every index in [0, n) on the pool and returns the
+// results in index order. Each result lands in its own pre-allocated
+// slot, so no synchronization or ordering sensitivity exists beyond the
+// final barrier.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.run(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Collect runs cell for every index in [0, n), giving each worker its own
+// accumulator from newAcc, then folds the shard accumulators with merge
+// and returns the combined one. merge(dst, src) must be commutative and
+// associative over the cell contributions (multiset semantics — e.g.
+// appending samples to a series that sorts before quantile queries);
+// under that requirement the result is independent of which worker
+// happened to run which cell.
+func Collect[A any](p *Pool, n int, newAcc func() A, cell func(i int, acc A), merge func(dst, src A)) A {
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		acc := newAcc()
+		for i := 0; i < n; i++ {
+			cell(i, acc)
+		}
+		return acc
+	}
+	accs := make([]A, w)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		accs[g] = newAcc()
+		go func(acc A) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				cell(i, acc)
+			}
+		}(accs[g])
+	}
+	wg.Wait()
+	for g := 1; g < w; g++ {
+		merge(accs[0], accs[g])
+	}
+	return accs[0]
+}

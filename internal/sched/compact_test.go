@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStopCompactsCancelledEvents verifies cancelled events don't sit in
+// the heap indefinitely: once they outnumber live ones, Stop compacts.
+func TestStopCompactsCancelledEvents(t *testing.T) {
+	k := New(1)
+	live := k.After(time.Hour, func() {})
+	timers := make([]*Timer, 1000)
+	for i := range timers {
+		timers[i] = k.After(time.Duration(i+1)*time.Second, func() {})
+	}
+	for _, tm := range timers {
+		tm.Stop()
+	}
+	if got := len(k.queue); got > 2 {
+		t.Fatalf("heap holds %d events after mass cancel, want <= 2 (1 live)", got)
+	}
+	if !live.Pending() {
+		t.Fatal("live timer lost by compaction")
+	}
+	if got := k.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d, want 1", got)
+	}
+	// The surviving schedule must still run in order.
+	fired := false
+	k.At(2*time.Hour, func() { fired = true })
+	k.Run()
+	if !fired || k.Now() != 2*time.Hour {
+		t.Fatalf("post-compaction run broken: fired=%v now=%v", fired, k.Now())
+	}
+}
+
+// TestCompactionPreservesOrdering interleaves live and cancelled timers
+// and checks the execution sequence is untouched by compaction.
+func TestCompactionPreservesOrdering(t *testing.T) {
+	k := New(1)
+	var got []int
+	var cancels []*Timer
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			k.At(time.Duration(i)*time.Millisecond, func() { got = append(got, i) })
+		} else {
+			cancels = append(cancels, k.At(time.Duration(i)*time.Millisecond, func() { got = append(got, i) }))
+		}
+	}
+	for _, tm := range cancels {
+		tm.Stop()
+	}
+	k.Run()
+	if len(got) != 100 {
+		t.Fatalf("ran %d events, want 100", len(got))
+	}
+	for j, v := range got {
+		if v != 2*j {
+			t.Fatalf("event %d out of order: got %d want %d", j, v, 2*j)
+		}
+	}
+}
+
+// TestFiredEventReleasesClosure checks the fn reference is dropped once
+// an event fires or is cancelled, so captured state becomes collectable
+// even while the event struct lingers in a Timer handle.
+func TestFiredEventReleasesClosure(t *testing.T) {
+	k := New(1)
+	fired := k.After(time.Second, func() {})
+	stopped := k.After(2*time.Second, func() {})
+	k.RunFor(time.Second)
+	if fired.ev.fn != nil {
+		t.Fatal("fired event still references its closure")
+	}
+	stopped.Stop()
+	if stopped.ev.fn != nil {
+		t.Fatal("cancelled event still references its closure")
+	}
+}
+
+// TestPendingConstantTime pins the counter bookkeeping: Pending must stay
+// correct through cancels, compactions and event execution.
+func TestPendingConstantTime(t *testing.T) {
+	k := New(1)
+	var tms []*Timer
+	for i := 0; i < 10; i++ {
+		tms = append(tms, k.After(time.Duration(i+1)*time.Second, func() {}))
+	}
+	if k.Pending() != 10 {
+		t.Fatalf("Pending() = %d, want 10", k.Pending())
+	}
+	tms[0].Stop()
+	tms[1].Stop()
+	if k.Pending() != 8 {
+		t.Fatalf("Pending() = %d after 2 stops, want 8", k.Pending())
+	}
+	tms[0].Stop() // double-stop is a no-op
+	if k.Pending() != 8 {
+		t.Fatalf("Pending() = %d after double stop, want 8", k.Pending())
+	}
+	k.RunFor(4 * time.Second)
+	if k.Pending() != 6 {
+		t.Fatalf("Pending() = %d after running 2 live events, want 6", k.Pending())
+	}
+	k.Run()
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", k.Pending())
+	}
+}
+
+// TestRunUntilAfterCancelKeepsCounter exercises the cancelled-event drop
+// path inside RunUntil.
+func TestRunUntilAfterCancelKeepsCounter(t *testing.T) {
+	k := New(1)
+	// Two cancelled early events at the heap top, one live event beyond t.
+	a := k.After(time.Second, func() {})
+	b := k.After(2*time.Second, func() {})
+	k.After(time.Hour, func() {})
+	a.Stop()
+	b.Stop()
+	k.RunUntil(10 * time.Second)
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", k.Pending())
+	}
+	if k.Now() != 10*time.Second {
+		t.Fatalf("Now() = %v, want 10s", k.Now())
+	}
+}

@@ -1,0 +1,58 @@
+package sched
+
+import "testing"
+
+func TestDeriveSeedDistinctCells(t *testing.T) {
+	const root, cells = 42, 100000
+	seen := make(map[int64]uint64, cells)
+	for c := uint64(0); c < cells; c++ {
+		s := DeriveSeed(root, c)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("cells %d and %d collide on seed %d", prev, c, s)
+		}
+		seen[s] = c
+	}
+}
+
+func TestDeriveSeedDistinctRoots(t *testing.T) {
+	for c := uint64(0); c < 1000; c++ {
+		if DeriveSeed(1, c) == DeriveSeed(2, c) {
+			t.Fatalf("roots 1 and 2 collide at cell %d", c)
+		}
+	}
+}
+
+// TestDeriveSeedStable pins golden values: the derivation scheme is part
+// of the experiments' reproducibility contract, so changing the mixer
+// silently would invalidate recorded results.
+func TestDeriveSeedStable(t *testing.T) {
+	golden := []struct {
+		root int64
+		cell uint64
+		want int64
+	}{
+		{0, 0, -2152535657050944081},
+		{1, 0, -7995527694508729151},
+		{1, 1, -4689498862643123097},
+		{-5, 9, -2238218926614258209},
+	}
+	for _, g := range golden {
+		if got := DeriveSeed(g.root, g.cell); got != g.want {
+			t.Fatalf("DeriveSeed(%d,%d) = %d, want golden %d", g.root, g.cell, got, g.want)
+		}
+	}
+	// The mixer must actually mix: nearby inputs land far apart.
+	if DeriveSeed(1, 1)-DeriveSeed(1, 0) == DeriveSeed(1, 2)-DeriveSeed(1, 1) {
+		t.Fatal("adjacent cells differ by a constant stride — mixer is affine")
+	}
+}
+
+func TestDeriveSeedFeedsKernel(t *testing.T) {
+	a := New(DeriveSeed(7, 3))
+	b := New(DeriveSeed(7, 3))
+	for i := 0; i < 16; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same derived seed produced different kernel rand streams")
+		}
+	}
+}

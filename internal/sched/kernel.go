@@ -25,6 +25,11 @@ type Kernel struct {
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+	// cancelled counts cancelled events still sitting in the heap. When
+	// they outnumber live events the heap is compacted, so long-running
+	// simulations that arm-and-stop many timers (watchdogs, tickers) don't
+	// accumulate dead entries indefinitely.
+	cancelled int
 }
 
 // New returns a Kernel whose random source is seeded with seed.
@@ -43,15 +48,24 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Timer is a handle to a scheduled event. Stop cancels it; a stopped or
 // fired timer is inert.
 type Timer struct {
+	k  *Kernel
 	ev *event
 }
 
 // Stop cancels the timer. It reports whether the timer was still pending.
+// The event's callback reference is released immediately; the heap entry
+// is reclaimed lazily and compacted once cancelled entries outnumber live
+// ones.
 func (t *Timer) Stop() bool {
 	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
 		return false
 	}
 	t.ev.cancelled = true
+	t.ev.fn = nil
+	t.k.cancelled++
+	if t.k.cancelled > len(t.k.queue)-t.k.cancelled {
+		t.k.compact()
+	}
 	return true
 }
 
@@ -70,7 +84,7 @@ func (k *Kernel) At(at time.Duration, fn func()) *Timer {
 	k.seq++
 	ev := &event{at: at, seq: k.seq, fn: fn}
 	heap.Push(&k.queue, ev)
-	return &Timer{ev: ev}
+	return &Timer{k: k, ev: ev}
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -88,11 +102,14 @@ func (k *Kernel) Step() bool {
 	for k.queue.Len() > 0 {
 		ev := heap.Pop(&k.queue).(*event)
 		if ev.cancelled {
+			k.cancelled--
 			continue
 		}
 		k.now = ev.at
 		ev.fired = true
-		ev.fn()
+		fn := ev.fn
+		ev.fn = nil // release the closure once fired
+		fn()
 		return true
 	}
 	return false
@@ -115,6 +132,7 @@ func (k *Kernel) RunUntil(t time.Duration) {
 		// (otherwise Step would skip past them and run an event beyond t).
 		for k.queue.Len() > 0 && k.queue[0].cancelled {
 			heap.Pop(&k.queue)
+			k.cancelled--
 		}
 		ev := k.queue.peek()
 		if ev == nil || ev.at > t {
@@ -134,15 +152,27 @@ func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now + d) }
 // stay queued and a subsequent Run resumes them.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Pending returns the number of queued (non-cancelled) events.
+// Pending returns the number of queued (non-cancelled) events in O(1).
 func (k *Kernel) Pending() int {
-	n := 0
+	return len(k.queue) - k.cancelled
+}
+
+// compact removes every cancelled event from the heap and restores the
+// heap invariant. Stop triggers it automatically once cancelled entries
+// outnumber live ones, keeping the heap within 2x its live size.
+func (k *Kernel) compact() {
+	kept := k.queue[:0]
 	for _, ev := range k.queue {
 		if !ev.cancelled {
-			n++
+			kept = append(kept, ev)
 		}
 	}
-	return n
+	for i := len(kept); i < len(k.queue); i++ {
+		k.queue[i] = nil
+	}
+	k.queue = kept
+	k.cancelled = 0
+	heap.Init(&k.queue)
 }
 
 type event struct {

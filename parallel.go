@@ -1,0 +1,115 @@
+package seed
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/seed5g/seed/internal/metrics"
+	"github.com/seed5g/seed/internal/runner"
+	"github.com/seed5g/seed/internal/sched"
+)
+
+// The experiment suite fans independent scenario cells — each a fresh
+// Testbed on its own single-threaded kernel — across a process-wide
+// worker pool. Cell seeds derive from sched.DeriveSeed(rootSeed, cellKey)
+// where the key identifies the underlying case or trial (arms that
+// compare schemes on the same case share the key, preserving the paired
+// comparisons the shape assertions rely on). Shard-local statistics merge
+// through the commutative metrics.Series.Merge, so every experiment's
+// result is bit-for-bit identical at any parallelism, including 1.
+
+// execPool holds the pool experiments submit cells to.
+var execPool atomic.Pointer[runner.Pool]
+
+func init() { execPool.Store(runner.New(0)) }
+
+// SetParallelism sets how many worker goroutines the experiment runners,
+// batch replays, and cmd binaries fan scenario cells across. n <= 0
+// restores the default (GOMAXPROCS). Results are identical for every
+// setting; parallelism only changes wall-clock time.
+func SetParallelism(n int) { execPool.Store(runner.New(n)) }
+
+// Parallelism returns the current experiment worker count.
+func Parallelism() int { return execPool.Load().Workers() }
+
+func pool() *runner.Pool { return execPool.Load() }
+
+// ReplayManagementBatch replays every case under mode, fanning the
+// independent replays across the experiment worker pool. Case i runs on
+// seed sched.DeriveSeed(rootSeed, i); results come back in case order.
+func ReplayManagementBatch(cases []FailureCase, mode Mode, rootSeed int64) []ReplayResult {
+	return runner.Map(pool(), len(cases), func(i int) ReplayResult {
+		return ReplayManagement(cases[i], mode, sched.DeriveSeed(rootSeed, uint64(i)))
+	})
+}
+
+// ReplayDeliveryBatch replays every delivery case under mode across the
+// worker pool, case i on seed sched.DeriveSeed(rootSeed, i).
+func ReplayDeliveryBatch(cases []DeliveryCase, mode Mode, rootSeed int64) []DeliveryReplayResult {
+	return runner.Map(pool(), len(cases), func(i int) DeliveryReplayResult {
+		return ReplayDelivery(cases[i], mode, sched.DeriveSeed(rootSeed, uint64(i)))
+	})
+}
+
+// mapCells fans n independent cells across the pool, returning the
+// results in cell order.
+func mapCells[T any](n int, fn func(i int) T) []T {
+	return runner.Map(pool(), n, fn)
+}
+
+// cellKey namespaces per-case seed derivation so distinct cell families
+// of one experiment never collide while arms that replay the same case
+// under different schemes still share a seed.
+func cellKey(family uint64, index int) uint64 {
+	return family<<32 | uint64(uint32(index))
+}
+
+// shardAcc is the order-insensitive accumulator scenario cells fold their
+// outcomes into: named sample series plus named counters. Merging is
+// commutative (series are multisets, counters sum), which is what lets
+// worker-local shards combine into a deterministic aggregate.
+type shardAcc struct {
+	series map[string]*metrics.Series
+	counts map[string]int
+}
+
+func newShardAcc() *shardAcc {
+	return &shardAcc{series: map[string]*metrics.Series{}, counts: map[string]int{}}
+}
+
+func (a *shardAcc) add(group string, d time.Duration) {
+	s := a.series[group]
+	if s == nil {
+		s = metrics.NewSeries(group)
+		a.series[group] = s
+	}
+	s.Add(d)
+}
+
+func (a *shardAcc) count(key string) { a.counts[key]++ }
+
+func (a *shardAcc) merge(src *shardAcc) {
+	for g, s := range src.series {
+		if dst := a.series[g]; dst != nil {
+			dst.Merge(s)
+		} else {
+			a.series[g] = s
+		}
+	}
+	for k, v := range src.counts {
+		a.counts[k] += v
+	}
+}
+
+// get returns the group's series, or an empty one when no cell reported.
+func (a *shardAcc) get(group string) *metrics.Series {
+	if s := a.series[group]; s != nil {
+		return s
+	}
+	return metrics.NewSeries(group)
+}
+
+// collectCells fans n cells across the pool into a merged shardAcc.
+func collectCells(n int, cell func(i int, acc *shardAcc)) *shardAcc {
+	return runner.Collect(pool(), n, newShardAcc, cell, (*shardAcc).merge)
+}
