@@ -167,6 +167,23 @@ func BenchmarkOnlineLearning(b *testing.B) {
 	b.ReportMetric(float64(last.CorrectPlane)/float64(last.Causes)*100, "correct-plane-%")
 }
 
+// BenchmarkSingleCellScenario runs one complete scenario cell — testbed
+// construction, a SEED-U device with app traffic, an injected control
+// failure, and two minutes of virtual time — and reports allocations.
+// This is the unit the parallel runner fans out, so its allocation count
+// is what the pooling work (event kernel, keyed crypto, NAS scratch
+// buffers) actually buys per cell.
+func BenchmarkSingleCellScenario(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := seed.New(int64(i + 1))
+		d := tb.NewDevice(seed.ModeSEEDU)
+		tb.InjectControlFailure(d, 22, seed.InjectOpts{Count: 1})
+		d.Start()
+		tb.Advance(2 * time.Minute)
+	}
+}
+
 // --- ablation benches (DESIGN.md's called-out design choices) -----------
 
 // BenchmarkAblation_CPlaneWaitTimer compares recovery with and without the

@@ -149,7 +149,7 @@ type Monitor struct {
 	stalled      bool
 	stallReason  string
 	ladderIdx    int
-	ladderTimer  *sched.Timer
+	ladderTimer  sched.Timer
 	evalTicker   *sched.Ticker
 	probeTicker  *sched.Ticker
 	stallsSeen   int
@@ -184,9 +184,7 @@ func (m *Monitor) Stop() {
 	m.running = false
 	m.evalTicker.Stop()
 	m.probeTicker.Stop()
-	if m.ladderTimer != nil {
-		m.ladderTimer.Stop()
-	}
+	m.ladderTimer.Stop()
 }
 
 // Stalled reports whether a data stall is currently declared.
@@ -374,9 +372,7 @@ func (m *Monitor) onValidated() {
 		m.dnsFails = 0
 		m.outboundSince = m.outboundSince[:0]
 		m.tcp = m.tcp[:0]
-		if m.ladderTimer != nil {
-			m.ladderTimer.Stop()
-		}
+		m.ladderTimer.Stop()
 		if m.hook.OnValidated != nil {
 			m.hook.OnValidated()
 		}

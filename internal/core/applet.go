@@ -105,7 +105,7 @@ type trialState struct {
 	c     cause.Cause
 	idx   int
 	last  ActionID
-	timer *sched.Timer
+	timer sched.Timer
 }
 
 // SEEDApplet is the SIM applet: the diagnostic module (cause lookup,
@@ -125,7 +125,7 @@ type SEEDApplet struct {
 	lastPlaneCause  time.Duration // last control/data-plane cause handled
 	hasPlaneCause   bool
 	lastAction      map[ActionID]time.Duration
-	pendingCP       *sched.Timer
+	pendingCP       sched.Timer
 	congestionUntil time.Duration
 
 	records map[recKey]uint16
@@ -228,11 +228,8 @@ func (a *SEEDApplet) handleDiag(m DiagMessage) {
 		act := m.Action.ForMode(a.effectiveMode())
 		if act == ActionA1 || act == ActionB1 || act == ActionA2 || act == ActionB2 {
 			// Hardware/control-plane resets get the 2 s transient window.
-			if a.pendingCP != nil {
-				a.pendingCP.Stop()
-			}
+			a.pendingCP.Stop()
 			a.pendingCP = a.k.After(a.cfg.CPlaneWait, func() {
-				a.pendingCP = nil
 				if a.k.Now() < a.congestionUntil {
 					return
 				}
@@ -278,11 +275,8 @@ func (a *SEEDApplet) markPlaneCause(p cause.Plane) {
 // scheduleCPlane arms the 2 s wait before a control-plane/hardware reset;
 // a recovery signal in the window cancels it.
 func (a *SEEDApplet) scheduleCPlane(m DiagMessage) {
-	if a.pendingCP != nil {
-		a.pendingCP.Stop()
-	}
+	a.pendingCP.Stop()
 	a.pendingCP = a.k.After(a.cfg.CPlaneWait, func() {
-		a.pendingCP = nil
 		if a.k.Now() < a.congestionUntil {
 			return
 		}
@@ -479,16 +473,11 @@ func (a *SEEDApplet) runAT(cmd string) {
 // carrier-app "connectivity validated" notification. It cancels a pending
 // control-plane reset (the 2 s transient window) and resolves trials.
 func (a *SEEDApplet) notifyRecovered() {
-	if a.pendingCP != nil {
-		a.pendingCP.Stop()
-		a.pendingCP = nil
-	}
+	a.pendingCP.Stop()
 	if a.trial != nil {
 		t := a.trial
 		a.trial = nil
-		if t.timer != nil {
-			t.timer.Stop()
-		}
+		t.timer.Stop()
 		// Algorithm 1 line 4: record the action that resolved the cause.
 		key := recKey{plane: t.c.Plane, code: t.c.Code, action: t.last}
 		a.records[key]++

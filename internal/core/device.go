@@ -212,15 +212,15 @@ func (d *Device) SendPacket(pkt radio.Packet) bool {
 }
 
 // dataSession returns the first active internet-class session (the DIAG
-// placeholder and the IMS voice session do not carry app traffic).
+// placeholder and the IMS voice session do not carry app traffic). It sits
+// on the per-packet path, so it uses the modem's allocation-free lookup
+// with a predicate built once.
 func (d *Device) dataSession() (*modem.Session, bool) {
-	var best *modem.Session
-	for _, s := range d.Mdm.Sessions() {
-		if s.Active && s.DNN != "DIAG" && s.DNN != "ims" && (best == nil || s.ID < best.ID) {
-			best = s
-		}
-	}
-	return best, best != nil
+	return d.Mdm.FirstActiveSessionFunc(isDataSession)
+}
+
+func isDataSession(s *modem.Session) bool {
+	return s.DNN != "DIAG" && s.DNN != "ims"
 }
 
 // DNSServer returns the resolver the device currently uses: the carrier

@@ -55,6 +55,10 @@ type AMF struct {
 	gutiIndex map[string]string
 	gutiSeq   int
 
+	// encScratch backs the plain NAS encoding of protected downlinks; the
+	// security layer copies it, so the buffer is reused across sends.
+	encScratch []byte
+
 	// OnReject, when set (by the SEED plugin), observes every composed
 	// control-plane reject before it is sent.
 	OnReject func(imsi string, code cause.Code)
@@ -157,9 +161,14 @@ func (a *AMF) ctx(imsi string) *UEContext {
 
 func (a *AMF) send(imsi string, msg nas.Message) {
 	a.stats.MessagesOut++
-	data := nas.Marshal(msg)
+	var data []byte
 	if c, okC := a.ctxs[imsi]; okC && c.sec != nil {
-		data = c.sec.Protect(crypto5g.Downlink, data)
+		// Protect copies the plain encoding into the sealed envelope, so
+		// one scratch buffer backs every protected downlink.
+		a.encScratch = nas.AppendMarshal(a.encScratch[:0], msg)
+		data = c.sec.Protect(crypto5g.Downlink, a.encScratch)
+	} else {
+		data = nas.Marshal(msg)
 	}
 	a.gnb.SendNAS(imsi, data)
 }

@@ -1,0 +1,167 @@
+package crypto5g
+
+import (
+	"testing"
+)
+
+var benchKey = []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+	0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+
+// Message sizes bracket what the NAS layer actually authenticates:
+// a short Service Request and a Registration Accept with full IEs.
+var benchMsg = make([]byte, 64)
+
+func init() {
+	for i := range benchMsg {
+		benchMsg[i] = byte(i)
+	}
+}
+
+// BenchmarkCMACKeyed measures the per-message CMAC cost with the key
+// schedule and subkeys cached — the form every NAS security context and
+// envelope uses. Must be allocation-free.
+func BenchmarkCMACKeyed(b *testing.B) {
+	c, err := NewCMACKey(benchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sum(benchMsg)
+	}
+}
+
+// BenchmarkCMACOneShot re-derives the key schedule every call, the shape
+// the hot paths had before keyed forms were introduced. Kept as the
+// baseline the keyed form is judged against.
+func BenchmarkCMACOneShot(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CMAC(benchKey, benchMsg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEIA2MAC(b *testing.B) {
+	k, err := NewEIA2Key(benchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.MAC(uint32(i), 1, Uplink, benchMsg)
+	}
+}
+
+func BenchmarkEEA2XORKeyStream(b *testing.B) {
+	k, err := NewEEA2Key(benchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, len(benchMsg))
+	b.SetBytes(int64(len(benchMsg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.XORKeyStream(uint32(i), 1, Uplink, buf, benchMsg)
+	}
+}
+
+// BenchmarkMilenageF2345 measures one full authentication vector
+// derivation with the AES block cached on the Milenage instance (one SIM
+// authenticates many times under the same K/OP).
+func BenchmarkMilenageF2345(b *testing.B) {
+	m, err := NewMilenage(benchKey, benchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rand [16]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rand[0] = byte(i)
+		m.F2345(rand)
+	}
+}
+
+func BenchmarkMilenageF1(b *testing.B) {
+	m, err := NewMilenage(benchKey, benchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rand [16]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.F1(rand, uint64(i), [2]byte{0x80, 0x00})
+	}
+}
+
+// BenchmarkEnvelopeSealOpen measures SEED's diagnosis-payload envelope
+// round trip (encrypt-then-MAC, one allocation per direction for the
+// output buffer).
+func BenchmarkEnvelopeSealOpen(b *testing.B) {
+	tx, err := NewEnvelope(benchKey, benchKey, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx, err := NewEnvelope(benchKey, benchKey, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := benchMsg[:32]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sealed, err := tx.Seal(Uplink, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rx.Open(Uplink, sealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCryptoHotPathAllocs is the allocation regression guard for the
+// keyed crypto forms: per-message CMAC, EIA2 and EEA2 must be
+// allocation-free once the key is constructed.
+func TestCryptoHotPathAllocs(t *testing.T) {
+	c, err := NewCMACKey(benchKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(500, func() { c.Sum(benchMsg) }); avg != 0 {
+		t.Errorf("CMACKey.Sum allocates %v objects/op, want 0", avg)
+	}
+
+	ik, err := NewEIA2Key(benchKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := uint32(0)
+	// First call may grow the internal message buffer; warm it.
+	ik.MAC(ctr, 1, Uplink, benchMsg)
+	if avg := testing.AllocsPerRun(500, func() {
+		ctr++
+		ik.MAC(ctr, 1, Uplink, benchMsg)
+	}); avg != 0 {
+		t.Errorf("EIA2Key.MAC allocates %v objects/op, want 0", avg)
+	}
+
+	ek, err := NewEEA2Key(benchKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(benchMsg))
+	if avg := testing.AllocsPerRun(500, func() {
+		ctr++
+		ek.XORKeyStream(ctr, 1, Uplink, buf, benchMsg)
+	}); avg != 0 {
+		t.Errorf("EEA2Key.XORKeyStream allocates %v objects/op, want 0", avg)
+	}
+}

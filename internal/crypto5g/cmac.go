@@ -5,60 +5,95 @@
 // used for 5G-AKA between SIM and core, and a counter-protected secure
 // envelope that SEED wraps its diagnosis payloads in before embedding them
 // in AUTH or DNN fields.
+//
+// Every primitive has a keyed form (CMACKey, EIA2Key, EEA2Key) that caches
+// the expanded AES block and derived subkeys at construction: NAS security
+// contexts and envelopes authenticate and encrypt thousands of messages
+// under one key per simulated UE, so re-deriving per message made the
+// crypto the second-hottest allocation site after the event kernel.
 package crypto5g
 
 import (
 	"crypto/aes"
+	"crypto/cipher"
 	"crypto/subtle"
 	"fmt"
 )
 
-// CMAC computes the AES-CMAC (RFC 4493 / NIST SP 800-38B) of msg under the
-// 16-byte key. The returned tag is 16 bytes.
-func CMAC(key, msg []byte) ([16]byte, error) {
-	var tag [16]byte
+// CMACKey is a reusable AES-CMAC state: the expanded AES block plus the
+// RFC 4493 subkeys K1/K2, derived once per key. Sum is allocation-free.
+// A CMACKey is not safe for concurrent use (simulation cells are
+// single-threaded, so each cell's contexts own their keys).
+type CMACKey struct {
+	block  cipher.Block
+	k1, k2 [16]byte
+	// x and last are Sum's scratch blocks. They live on the struct because
+	// locals passed through the cipher.Block interface call escape to the
+	// heap; as fields they cost nothing per call.
+	x, last [16]byte
+}
+
+// NewCMACKey expands the 16-byte key and precomputes the CMAC subkeys.
+func NewCMACKey(key []byte) (*CMACKey, error) {
 	block, err := aes.NewCipher(key)
 	if err != nil {
-		return tag, fmt.Errorf("crypto5g: cmac key: %w", err)
+		return nil, fmt.Errorf("crypto5g: cmac key: %w", err)
 	}
-
-	// Subkey generation.
+	c := &CMACKey{block: block}
 	var l [16]byte
 	block.Encrypt(l[:], l[:])
-	k1 := dbl(l)
-	k2 := dbl(k1)
+	c.k1 = dbl(l)
+	c.k2 = dbl(c.k1)
+	return c, nil
+}
 
+// Sum computes the AES-CMAC (RFC 4493 / NIST SP 800-38B) of msg. The
+// returned tag is 16 bytes; no heap allocation occurs.
+func (c *CMACKey) Sum(msg []byte) [16]byte {
 	n := (len(msg) + 15) / 16 // number of blocks
-	var last [16]byte
+	last := &c.last
 	complete := n > 0 && len(msg)%16 == 0
 	if n == 0 {
 		n = 1
 	}
 	if complete {
 		for i := 0; i < 16; i++ {
-			last[i] = msg[(n-1)*16+i] ^ k1[i]
+			last[i] = msg[(n-1)*16+i] ^ c.k1[i]
 		}
 	} else {
 		rem := msg[(n-1)*16:]
+		*last = [16]byte{}
 		copy(last[:], rem)
 		last[len(rem)] = 0x80
 		for i := 0; i < 16; i++ {
-			last[i] ^= k2[i]
+			last[i] ^= c.k2[i]
 		}
 	}
 
-	var x [16]byte
+	x := &c.x
+	*x = [16]byte{}
 	for i := 0; i < n-1; i++ {
 		for j := 0; j < 16; j++ {
 			x[j] ^= msg[i*16+j]
 		}
-		block.Encrypt(x[:], x[:])
+		c.block.Encrypt(x[:], x[:])
 	}
 	for j := 0; j < 16; j++ {
 		x[j] ^= last[j]
 	}
-	block.Encrypt(tag[:], x[:])
-	return tag, nil
+	c.block.Encrypt(x[:], x[:])
+	return *x
+}
+
+// CMAC computes the AES-CMAC of msg under the 16-byte key. The returned
+// tag is 16 bytes. One-shot convenience; batch users should keep a
+// CMACKey.
+func CMAC(key, msg []byte) ([16]byte, error) {
+	c, err := NewCMACKey(key)
+	if err != nil {
+		return [16]byte{}, err
+	}
+	return c.Sum(msg), nil
 }
 
 // dbl doubles a value in GF(2^128) per RFC 4493 subkey generation.

@@ -16,12 +16,17 @@ import (
 // The MAC is computed over COUNTER || CIPHERTEXT (encrypt-then-MAC).
 // Both sides keep a monotonically increasing counter per direction; an
 // opened counter must exceed the last accepted one.
+//
+// The cipher states are expanded once at construction, and Seal/Open each
+// make exactly one allocation (the returned message), encrypting directly
+// into it.
 type Envelope struct {
-	encKey  []byte
-	intKey  []byte
-	bearer  uint8
-	sendCtr map[Direction]uint32
-	recvCtr map[Direction]uint32
+	enc    *EEA2Key
+	integ  *EIA2Key
+	bearer uint8
+	// Per-direction counters, indexed by Direction (Uplink=0, Downlink=1).
+	sendCtr [2]uint32
+	recvCtr [2]uint32
 }
 
 // ErrIntegrity is returned when a MAC check fails.
@@ -40,32 +45,27 @@ func NewEnvelope(encKey, intKey []byte, bearer uint8) (*Envelope, error) {
 	if len(encKey) != 16 || len(intKey) != 16 {
 		return nil, fmt.Errorf("crypto5g: envelope keys must be 16 bytes, got %d and %d", len(encKey), len(intKey))
 	}
-	return &Envelope{
-		encKey:  append([]byte(nil), encKey...),
-		intKey:  append([]byte(nil), intKey...),
-		bearer:  bearer,
-		sendCtr: map[Direction]uint32{},
-		recvCtr: map[Direction]uint32{},
-	}, nil
+	enc, err := NewEEA2Key(encKey)
+	if err != nil {
+		return nil, err
+	}
+	integ, err := NewEIA2Key(intKey)
+	if err != nil {
+		return nil, err
+	}
+	return &Envelope{enc: enc, integ: integ, bearer: bearer}, nil
 }
 
 // Seal encrypts and authenticates plaintext for the given direction,
 // advancing the send counter.
 func (e *Envelope) Seal(dir Direction, plaintext []byte) ([]byte, error) {
-	e.sendCtr[dir]++
-	ctr := e.sendCtr[dir]
-	ct, err := EEA2(e.encKey, ctr, e.bearer, dir, plaintext)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]byte, 4+len(ct)+4)
+	e.sendCtr[dir&1]++
+	ctr := e.sendCtr[dir&1]
+	out := make([]byte, 4+len(plaintext)+4)
 	binary.BigEndian.PutUint32(out[0:4], ctr)
-	copy(out[4:], ct)
-	mac, err := EIA2(e.intKey, ctr, e.bearer, dir, out[:4+len(ct)])
-	if err != nil {
-		return nil, err
-	}
-	copy(out[4+len(ct):], mac[:])
+	e.enc.XORKeyStream(ctr, e.bearer, dir, out[4:4+len(plaintext)], plaintext)
+	mac := e.integ.MAC(ctr, e.bearer, dir, out[:4+len(plaintext)])
+	copy(out[4+len(plaintext):], mac[:])
 	return out, nil
 }
 
@@ -77,20 +77,15 @@ func (e *Envelope) Open(dir Direction, sealed []byte) ([]byte, error) {
 	}
 	ctr := binary.BigEndian.Uint32(sealed[0:4])
 	body := sealed[4 : len(sealed)-4]
-	mac, err := EIA2(e.intKey, ctr, e.bearer, dir, sealed[:len(sealed)-4])
-	if err != nil {
-		return nil, err
-	}
+	mac := e.integ.MAC(ctr, e.bearer, dir, sealed[:len(sealed)-4])
 	if !ConstantTimeEqual(mac[:], sealed[len(sealed)-4:]) {
 		return nil, ErrIntegrity
 	}
-	if ctr <= e.recvCtr[dir] {
+	if ctr <= e.recvCtr[dir&1] {
 		return nil, ErrReplay
 	}
-	pt, err := EEA2(e.encKey, ctr, e.bearer, dir, body)
-	if err != nil {
-		return nil, err
-	}
-	e.recvCtr[dir] = ctr
+	pt := make([]byte, len(body))
+	e.enc.XORKeyStream(ctr, e.bearer, dir, pt, body)
+	e.recvCtr[dir&1] = ctr
 	return pt, nil
 }

@@ -2,6 +2,7 @@ package crypto5g
 
 import (
 	"crypto/aes"
+	"crypto/cipher"
 	"fmt"
 )
 
@@ -12,6 +13,14 @@ import (
 type Milenage struct {
 	k   [16]byte
 	opc [16]byte
+	// block is the AES cipher expanded from K once at construction; every
+	// f-function reuses it instead of re-running the key schedule (three
+	// aes.NewCipher calls per authentication before caching).
+	block cipher.Block
+	// s1 and s2 are the f-functions' scratch blocks: locals passed through
+	// the cipher.Block interface call escape to the heap, fields don't.
+	// Callers receive results by value, so the scratch never leaks.
+	s1, s2 [16]byte
 }
 
 // NewMilenage builds a Milenage instance from the subscriber key K and the
@@ -26,6 +35,7 @@ func NewMilenage(k, op []byte) (*Milenage, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.block = block
 	block.Encrypt(m.opc[:], op)
 	for i := range m.opc {
 		m.opc[i] ^= op[i]
@@ -37,29 +47,27 @@ func NewMilenage(k, op []byte) (*Milenage, error) {
 func (m *Milenage) OPc() [16]byte { return m.opc }
 
 func (m *Milenage) temp(rand [16]byte) [16]byte {
-	block, _ := aes.NewCipher(m.k[:])
-	var t [16]byte
+	t := &m.s1
 	for i := range t {
 		t[i] = rand[i] ^ m.opc[i]
 	}
-	block.Encrypt(t[:], t[:])
-	return t
+	m.block.Encrypt(t[:], t[:])
+	return *t
 }
 
 // rotXorEncrypt computes E_K(rot(temp XOR OPc, rBytes) XOR c) XOR OPc for
 // f2..f5*, where the rotation is a left byte rotation.
 func (m *Milenage) rotXorEncrypt(temp [16]byte, rBytes int, cLast byte) [16]byte {
-	block, _ := aes.NewCipher(m.k[:])
-	var in, out [16]byte
+	in, out := &m.s1, &m.s2
 	for i := range in {
 		in[i] = temp[(i+rBytes)%16] ^ m.opc[(i+rBytes)%16]
 	}
 	in[15] ^= cLast
-	block.Encrypt(out[:], in[:])
+	m.block.Encrypt(out[:], in[:])
 	for i := range out {
 		out[i] ^= m.opc[i]
 	}
-	return out
+	return *out
 }
 
 // F1 computes the network authentication code MAC-A and the
@@ -74,13 +82,11 @@ func (m *Milenage) F1(rand [16]byte, sqn uint64, amf [2]byte) (macA, macS [8]byt
 
 	// OUT1 = E_K(TEMP XOR rot(IN1 XOR OPc, r1) XOR c1) XOR OPc, r1 = 64 bits.
 	const r1 = 8
-	block, _ := aes.NewCipher(m.k[:])
-	var x [16]byte
+	x, out1 := &m.s1, &m.s2
 	for i := range x {
 		x[i] = temp[i] ^ in1[(i+r1)%16] ^ m.opc[(i+r1)%16]
 	}
-	var out1 [16]byte
-	block.Encrypt(out1[:], x[:])
+	m.block.Encrypt(out1[:], x[:])
 	for i := range out1 {
 		out1[i] ^= m.opc[i]
 	}

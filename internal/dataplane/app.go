@@ -2,6 +2,7 @@ package dataplane
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/seed5g/seed/internal/android"
@@ -123,7 +124,8 @@ type App struct {
 	consecReqFails  int
 	consecDNSFails  int
 	reqSeq          int
-	pending         map[string]*sched.Timer
+	idBuf           []byte // scratch for flowID formatting
+	pending         map[string]sched.Timer
 	ticker          *sched.Ticker
 	lastSuccessAt   time.Duration
 	lastDNSOK       time.Duration
@@ -136,7 +138,7 @@ func NewApp(k *sched.Kernel, spec AppSpec, send func(radio.Packet) bool, dnsServ
 	return &App{
 		k: k, spec: spec, send: send, dnsServer: dnsServer,
 		reportThreshold: 2,
-		pending:         make(map[string]*sched.Timer),
+		pending:         make(map[string]sched.Timer),
 		lastSuccessAt:   -1,
 	}
 }
@@ -196,8 +198,17 @@ func (a *App) cycle() {
 	a.sendRequest()
 }
 
+// flowID builds "<app>-<kind>-<seq>" through a reused scratch buffer: the
+// only allocation left is the string itself (it keys the pending map, so
+// it has to be materialized).
 func (a *App) flowID(kind string) string {
-	return fmt.Sprintf("%s-%s-%d", a.spec.Kind, kind, a.reqSeq)
+	b := append(a.idBuf[:0], a.spec.Kind.String()...)
+	b = append(b, '-')
+	b = append(b, kind...)
+	b = append(b, '-')
+	b = strconv.AppendInt(b, int64(a.reqSeq), 10)
+	a.idBuf = b
+	return string(b)
 }
 
 func (a *App) sendRequest() {

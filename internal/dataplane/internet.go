@@ -41,12 +41,26 @@ type Internet struct {
 	PublicDNSDown bool
 
 	served int
+
+	// injectFn and replyFree implement a closure-free reply path: each
+	// response packet rides a pooled *radio.Packet through the kernel's
+	// AtArg and returns to the pool once injected. Single-threaded per
+	// kernel, so the pool needs no locks.
+	injectFn  func(any)
+	replyFree []*radio.Packet
 }
 
 // NewInternet creates the emulated internet and installs it as the UPF's
 // remote handler.
 func NewInternet(k *sched.Kernel, upf *core5g.UPF) *Internet {
 	in := &Internet{k: k, upf: upf, ServerLatency: 20 * time.Millisecond}
+	in.injectFn = func(v any) {
+		p := v.(*radio.Packet)
+		in.served++
+		in.upf.Inject(*p)
+		*p = radio.Packet{}
+		in.replyFree = append(in.replyFree, p)
+	}
 	upf.SetRemote(in.handleUplink)
 	return in
 }
@@ -54,27 +68,34 @@ func NewInternet(k *sched.Kernel, upf *core5g.UPF) *Internet {
 // Served returns the number of requests answered.
 func (in *Internet) Served() int { return in.served }
 
-func (in *Internet) handleUplink(pkt radio.Packet) {
-	respond := func(length int, meta string) {
-		in.k.After(in.ServerLatency, func() {
-			in.served++
-			in.upf.Inject(radio.Packet{
-				Proto: pkt.Proto, Src: pkt.Dst, Dst: pkt.Src,
-				SrcPort: pkt.DstPort, DstPort: pkt.SrcPort,
-				Flow: pkt.Flow, Length: length, Meta: meta,
-			})
-		})
+// respond schedules the reply to pkt after the server latency.
+func (in *Internet) respond(pkt *radio.Packet, length int, meta string) {
+	var p *radio.Packet
+	if n := len(in.replyFree); n > 0 {
+		p = in.replyFree[n-1]
+		in.replyFree = in.replyFree[:n-1]
+	} else {
+		p = new(radio.Packet)
 	}
+	*p = radio.Packet{
+		Proto: pkt.Proto, Src: pkt.Dst, Dst: pkt.Src,
+		SrcPort: pkt.DstPort, DstPort: pkt.SrcPort,
+		Flow: pkt.Flow, Length: length, Meta: meta,
+	}
+	in.k.AfterArg(in.ServerLatency, in.injectFn, p)
+}
+
+func (in *Internet) handleUplink(pkt radio.Packet) {
 	switch {
 	case nas.Addr(pkt.Dst) == core5g.PublicDNSAddr && pkt.Proto == nas.ProtoUDP && pkt.DstPort == 53:
 		if !in.PublicDNSDown {
-			respond(128, "dns-answer:"+pkt.Meta)
+			in.respond(&pkt, 128, "dns-answer:"+pkt.Meta)
 		}
 	case nas.Addr(pkt.Dst) == ProbeServerAddr:
 		if !in.ProbeServerDown {
-			respond(204, "probe-ok")
+			in.respond(&pkt, 204, "probe-ok")
 		}
 	default:
-		respond(1400, "app-response")
+		in.respond(&pkt, 1400, "app-response")
 	}
 }

@@ -43,14 +43,7 @@ func (m *Modem) legacyRegistrationFailure(code uint8) {
 		if m.specIdentityFallback {
 			m.guti = ""
 		}
-		m.regTimer = m.k.After(m.cfg.T3502, func() {
-			// After the long backoff the modem starts from scratch: stale
-			// GUTI dropped and the SIM profile re-read before the fresh
-			// attempt (TS 24.501 §5.3.7 equivalent-fresh-attach).
-			m.guti = ""
-			m.refreshProfile(nil)
-			m.Attach()
-		})
+		m.regTimer = m.k.After(m.cfg.T3502, m.t3502Fn)
 		return
 	}
 
@@ -58,12 +51,11 @@ func (m *Modem) legacyRegistrationFailure(code uint8) {
 	if info, okc := cause.Lookup(cause.MM(cause.Code(code))); okc && info.Transient {
 		wait = m.cfg.TransientRetryWait
 	}
-	m.regTimer = m.k.After(wait, func() { m.Attach() })
+	m.regTimer = m.k.After(wait, m.attachFn)
 }
 
-func (m *Modem) onT3580Expiry(id uint8) {
-	s, okS := m.sessions[id]
-	if !okS || s.Active {
+func (m *Modem) onT3580Expiry(s *Session) {
+	if m.sessions[s.ID] != s || s.Active {
 		return
 	}
 	m.legacySessionFailure(s, 0)
@@ -74,10 +66,7 @@ func (m *Modem) handleSessionReject(rej *nas.PDUSessionEstablishmentReject) {
 	if !okS {
 		return
 	}
-	if s.timer != nil {
-		s.timer.Stop()
-		s.timer = nil
-	}
+	s.timer.Stop()
 	m.reportReject(nas.EPD5GSM, uint8(rej.Cause))
 	// The reject may carry a suggested DNN (SEED infra extension); the
 	// legacy modem ignores it, as §3.2 observes.
@@ -102,9 +91,5 @@ func (m *Modem) legacySessionFailure(s *Session, code uint8) {
 	if info, okc := cause.Lookup(cause.SM(cause.Code(code))); okc && info.Transient {
 		wait = m.cfg.TransientRetryWait
 	}
-	s.timer = m.k.After(wait, func() {
-		if m.state == StateRegistered {
-			m.sendSessionRequest(s)
-		}
-	})
+	s.timer = m.k.AfterArg(wait, m.sessRetry, s)
 }

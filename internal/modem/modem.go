@@ -66,7 +66,7 @@ type Session struct {
 
 	pti      uint8
 	attempts int
-	timer    *sched.Timer
+	timer    sched.Timer
 }
 
 // Config holds the modem's timer and behaviour knobs. Defaults follow the
@@ -148,7 +148,7 @@ type Modem struct {
 	nextPTI     uint8
 
 	regAttempts int
-	regTimer    *sched.Timer // T3510/T3511/T3502 (one at a time)
+	regTimer    sched.Timer // T3510/T3511/T3502 (one at a time)
 
 	// NAS security: sec is the active context; lastIK holds the key from
 	// the most recent AKA run so a fresh context can be adopted at the
@@ -161,8 +161,26 @@ type Modem struct {
 	// inactivity; a Service Request resumes it on the next packet.
 	rrcConnected bool
 	resuming     bool
-	idleTimer    *sched.Timer
+	idleTimer    sched.Timer
 	pendingPkts  []radio.Packet
+
+	// Reusable callback slots for the hottest timer arm/stop cycles
+	// (registration retries, inactivity, session guards): built once in
+	// New so re-arming a timer allocates no closure. The *Arg slots pair
+	// with sched.AfterArg, which carries the argument in the pooled event.
+	goIdleFn  func()
+	t3510Fn   func()
+	attachFn  func()
+	t3502Fn   func()
+	fetchFn   func()
+	t3580Arg  func(any) // arg: *Session
+	sessRetry func(any) // arg: *Session
+	authArg   func(any) // arg: *nas.AuthenticationRequest
+
+	// encScratch backs the plain NAS encoding of protected uplinks; the
+	// security layer copies it into the sealed envelope, so the buffer is
+	// safe to reuse on the next send.
+	encScratch []byte
 
 	// specIdentityFallback, when true, clears the GUTI after repeated
 	// identity-related failures as the spec mandates; false reproduces
@@ -199,9 +217,28 @@ func New(k *sched.Kernel, cfg Config, card *sim.Card, tx func(any) bool) *Modem 
 		nextPTI:     1,
 		autoSession: true,
 	}
+	m.goIdleFn = m.goIdle
+	m.t3510Fn = m.onT3510Expiry
+	m.attachFn = func() { m.Attach() }
+	m.t3502Fn = func() {
+		// After the long backoff the modem starts from scratch: stale
+		// GUTI dropped and the SIM profile re-read before the fresh
+		// attempt (TS 24.501 §5.3.7 equivalent-fresh-attach).
+		m.guti = ""
+		m.refreshProfile(nil)
+		m.Attach()
+	}
+	m.fetchFn = m.fetchProactive
+	m.t3580Arg = func(v any) { m.onT3580Expiry(v.(*Session)) }
+	m.sessRetry = func(v any) {
+		if m.state == StateRegistered {
+			m.sendSessionRequest(v.(*Session))
+		}
+	}
+	m.authArg = func(v any) { m.runAuth(v.(*nas.AuthenticationRequest)) }
 	card.OnProactive(func() {
 		// Fetch after one SIM I/O round trip.
-		k.After(cfg.SIMIOLatency, m.fetchProactive)
+		k.After(cfg.SIMIOLatency, m.fetchFn)
 	})
 	return m
 }
@@ -267,6 +304,19 @@ func (m *Modem) FirstActiveSession() (*Session, bool) {
 	return best, best != nil
 }
 
+// FirstActiveSessionFunc returns the lowest-ID active session for which
+// keep returns true. Callers on per-packet paths should store keep once:
+// unlike Sessions, this iterates the live set without allocating.
+func (m *Modem) FirstActiveSessionFunc(keep func(*Session) bool) (*Session, bool) {
+	var best *Session
+	for _, s := range m.sessions {
+		if s.Active && (best == nil || s.ID < best.ID) && keep(s) {
+			best = s
+		}
+	}
+	return best, best != nil
+}
+
 // OverrideSessionDNN sets the modem's cached session DNN without touching
 // the SIM — the failure injector uses this to model a stale modem cache.
 func (m *Modem) OverrideSessionDNN(dnn string) { m.profile.DNN = dnn }
@@ -310,9 +360,7 @@ func (m *Modem) PowerOff() {
 	m.rrcConnected = false
 	m.resuming = false
 	m.pendingPkts = nil
-	if m.idleTimer != nil {
-		m.idleTimer.Stop()
-	}
+	m.idleTimer.Stop()
 	m.regAttempts = 0
 	m.setState(StateOff)
 }
@@ -387,13 +435,11 @@ func (m *Modem) RRCConnected() bool { return m.rrcConnected }
 
 // markActivity resets the inactivity clock (user-plane traffic only).
 func (m *Modem) markActivity() {
-	if m.idleTimer != nil {
-		m.idleTimer.Stop()
-	}
+	m.idleTimer.Stop()
 	if m.cfg.InactivityTimeout <= 0 {
 		return
 	}
-	m.idleTimer = m.k.After(m.cfg.InactivityTimeout, m.goIdle)
+	m.idleTimer = m.k.After(m.cfg.InactivityTimeout, m.goIdleFn)
 }
 
 // goIdle releases the RRC connection after inactivity (TS 38.331 RRC
@@ -436,14 +482,11 @@ func (m *Modem) sendRegistrationRequest() {
 	}
 	m.sendNAS(req)
 	m.cancelRegTimer()
-	m.regTimer = m.k.After(m.cfg.T3510, m.onT3510Expiry)
+	m.regTimer = m.k.After(m.cfg.T3510, m.t3510Fn)
 }
 
 func (m *Modem) cancelRegTimer() {
-	if m.regTimer != nil {
-		m.regTimer.Stop()
-		m.regTimer = nil
-	}
+	m.regTimer.Stop()
 }
 
 func (m *Modem) sendNAS(msg nas.Message) {
@@ -451,9 +494,16 @@ func (m *Modem) sendNAS(msg nas.Message) {
 	if m.hook.OnNAS != nil {
 		m.hook.OnNAS(true, msg)
 	}
-	data := nas.Marshal(msg)
+	var data []byte
 	if m.sec != nil {
-		data = m.sec.Protect(crypto5g.Uplink, data)
+		// Protect copies the plain encoding into the sealed envelope, so
+		// the scratch buffer can back every protected uplink.
+		m.encScratch = nas.AppendMarshal(m.encScratch[:0], msg)
+		data = m.sec.Protect(crypto5g.Uplink, m.encScratch)
+	} else {
+		// Unprotected frames travel (and may sit queued in the link) as-is:
+		// they need their own allocation.
+		data = nas.Marshal(msg)
 	}
 	m.tx(radio.UplinkNAS{UE: m.imsi, Bytes: data})
 }
@@ -567,22 +617,24 @@ func (m *Modem) handleAuthRequest(req *nas.AuthenticationRequest) {
 	// The modem forwards RAND/AUTN to the SIM unconditionally — it cannot
 	// tell a SEED diagnosis delivery from a real challenge, which is what
 	// keeps SEED firmware-compatible.
-	m.k.After(2*m.cfg.SIMIOLatency, func() {
-		res := m.card.Authenticate(req.RAND, req.AUTN)
-		switch res.Kind {
-		case sim.AuthOK:
-			m.lastIK = res.IK
-			m.hasIK = true
-			m.sendNAS(&nas.AuthenticationResponse{RES: res.RES[:]})
-		case sim.AuthSyncFailure:
-			m.sendNAS(&nas.AuthenticationFailure{
-				Cause: 21, // Synch failure
-				AUTS:  append([]byte(nil), res.AUTS[:]...),
-			})
-		case sim.AuthMACFailure:
-			m.sendNAS(&nas.AuthenticationFailure{Cause: 20}) // MAC failure
-		}
-	})
+	m.k.AfterArg(2*m.cfg.SIMIOLatency, m.authArg, req)
+}
+
+func (m *Modem) runAuth(req *nas.AuthenticationRequest) {
+	res := m.card.Authenticate(req.RAND, req.AUTN)
+	switch res.Kind {
+	case sim.AuthOK:
+		m.lastIK = res.IK
+		m.hasIK = true
+		m.sendNAS(&nas.AuthenticationResponse{RES: res.RES[:]})
+	case sim.AuthSyncFailure:
+		m.sendNAS(&nas.AuthenticationFailure{
+			Cause: 21, // Synch failure
+			AUTS:  append([]byte(nil), res.AUTS[:]...),
+		})
+	case sim.AuthMACFailure:
+		m.sendNAS(&nas.AuthenticationFailure{Cause: 20}) // MAC failure
+	}
 }
 
 func (m *Modem) handleRegistrationAccept(acc *nas.RegistrationAccept) {
@@ -624,10 +676,8 @@ func (m *Modem) sendSessionRequest(s *Session) {
 		req.SNSSAI = &sn
 	}
 	m.sendNAS(req)
-	if s.timer != nil {
-		s.timer.Stop()
-	}
-	s.timer = m.k.After(m.cfg.T3580, func() { m.onT3580Expiry(s.ID) })
+	s.timer.Stop()
+	s.timer = m.k.AfterArg(m.cfg.T3580, m.t3580Arg, s)
 }
 
 func (m *Modem) handleSessionAccept(acc *nas.PDUSessionEstablishmentAccept) {
@@ -635,10 +685,7 @@ func (m *Modem) handleSessionAccept(acc *nas.PDUSessionEstablishmentAccept) {
 	if !okS {
 		return
 	}
-	if s.timer != nil {
-		s.timer.Stop()
-		s.timer = nil
-	}
+	s.timer.Stop()
 	s.attempts = 0
 	s.Active = true
 	s.Address = acc.Address
@@ -719,9 +766,7 @@ func (m *Modem) dropSession(id uint8) {
 	if !okS {
 		return
 	}
-	if s.timer != nil {
-		s.timer.Stop()
-	}
+	s.timer.Stop()
 	wasActive := s.Active
 	delete(m.sessions, id)
 	if wasActive && m.hook.OnSessionDown != nil {

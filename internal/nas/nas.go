@@ -134,7 +134,16 @@ var ErrUnknownMessage = errors.New("nas: unknown message type")
 
 // Marshal serializes msg to its wire representation.
 func Marshal(msg Message) []byte {
-	w := &writer{}
+	// One right-sized allocation covers almost every NAS message on the
+	// testbed (the largest session accepts run ~80 bytes).
+	return AppendMarshal(make([]byte, 0, 96), msg)
+}
+
+// AppendMarshal serializes msg to its wire representation appended to dst,
+// returning the extended slice. Hot paths reuse a scratch buffer as dst to
+// keep per-PDU encoding allocation-free.
+func AppendMarshal(dst []byte, msg Message) []byte {
+	w := writer{buf: dst}
 	w.byte(msg.EPD())
 	if sm, ok := msg.(SessionMessage); ok {
 		id, pti := sm.sessionHeader()
@@ -144,7 +153,7 @@ func Marshal(msg Message) []byte {
 		w.byte(0) // security header type: plain
 	}
 	w.byte(byte(msg.MessageType()))
-	msg.encodeBody(w)
+	msg.encodeBody(&w)
 	return w.bytes()
 }
 

@@ -24,6 +24,7 @@ const secEnvelopeLen = 7
 // uplink/downlink NAS COUNTs with the standard SEQ-byte estimation.
 type SecurityContext struct {
 	ik      [16]byte
+	eia2    *crypto5g.EIA2Key // expanded once; reused for every message
 	ulCount uint32
 	dlCount uint32
 
@@ -35,32 +36,32 @@ type SecurityContext struct {
 // the AKA run (the testbed uses IK directly where a real deployment would
 // run the key-derivation chain down to K_NASint).
 func NewSecurityContext(ik [16]byte) *SecurityContext {
-	return &SecurityContext{ik: ik}
+	eia2, err := crypto5g.NewEIA2Key(ik[:])
+	if err != nil {
+		panic(err) // fixed-size key cannot fail
+	}
+	return &SecurityContext{ik: ik, eia2: eia2}
 }
 
 // Stats returns (messages protected, messages verified).
 func (c *SecurityContext) Stats() (out, in int) { return c.protectedOut, c.verifiedIn }
 
 // Protect wraps an encoded plain NAS message in an integrity-protected
-// envelope for the given direction.
+// envelope for the given direction. It copies plain into the returned
+// envelope (one allocation), so callers may reuse plain's backing buffer.
 func (c *SecurityContext) Protect(dir crypto5g.Direction, plain []byte) []byte {
 	count := &c.ulCount
 	if dir == crypto5g.Downlink {
 		count = &c.dlCount
 	}
 	*count++
-	seq := byte(*count)
-	body := make([]byte, 0, 1+len(plain))
-	body = append(body, seq)
-	body = append(body, plain...)
-	mac, err := crypto5g.EIA2(c.ik[:], *count, 1, dir, body)
-	if err != nil {
-		panic(err) // fixed-size key cannot fail
-	}
-	out := make([]byte, 0, secEnvelopeLen+len(plain))
-	out = append(out, EPD5GMM, SecHdrIntegrity)
-	out = append(out, mac[:]...)
-	out = append(out, body...)
+	out := make([]byte, secEnvelopeLen+len(plain))
+	out[0], out[1] = EPD5GMM, SecHdrIntegrity
+	body := out[6:]
+	body[0] = byte(*count) // SEQ
+	copy(body[1:], plain)
+	mac := c.eia2.MAC(*count, 1, dir, body)
+	copy(out[2:6], mac[:])
 	c.protectedOut++
 	return out
 }
@@ -90,10 +91,7 @@ func (c *SecurityContext) Unprotect(dir crypto5g.Direction, data []byte) ([]byte
 	if est <= *count {
 		est += 0x100
 	}
-	want, err := crypto5g.EIA2(c.ik[:], est, 1, dir, body)
-	if err != nil {
-		return nil, err
-	}
+	want := c.eia2.MAC(est, 1, dir, body)
 	if !crypto5g.ConstantTimeEqual(want[:], mac) {
 		return nil, fmt.Errorf("nas: integrity check failed (count %d)", est)
 	}

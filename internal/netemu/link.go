@@ -33,6 +33,12 @@ type Link struct {
 	down        bool
 	lastArrival time.Duration
 
+	// deliver is the stored delivery callback: Send hands it to the
+	// kernel's AtArg with the message as the argument, so queuing a
+	// message allocates neither a closure nor (with the pooled event
+	// kernel) an event.
+	deliver func(msg any)
+
 	sent      int
 	delivered int
 	dropped   int
@@ -41,7 +47,12 @@ type Link struct {
 // NewLink creates a link on kernel k named name (for diagnostics)
 // delivering to handler with the given base latency.
 func NewLink(k *sched.Kernel, name string, latency time.Duration, handler Handler) *Link {
-	return &Link{k: k, name: name, Latency: latency, handler: handler}
+	l := &Link{k: k, name: name, Latency: latency, handler: handler}
+	l.deliver = func(msg any) {
+		l.delivered++
+		l.handler(msg)
+	}
+	return l
 }
 
 // Name returns the link's diagnostic name.
@@ -75,10 +86,7 @@ func (l *Link) Send(msg any) bool {
 		arrival = l.lastArrival // preserve FIFO under jitter
 	}
 	l.lastArrival = arrival
-	l.k.At(arrival, func() {
-		l.delivered++
-		l.handler(msg)
-	})
+	l.k.AtArg(arrival, l.deliver, msg)
 	return true
 }
 

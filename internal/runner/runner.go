@@ -10,6 +10,15 @@
 // folded into shard-local accumulators combined with a commutative merge
 // (Collect). Under that contract the outcome is bit-for-bit identical for
 // any worker count, including the sequential workers=1 path.
+//
+// Dispatch policy: workers claim cells in contiguous batches from a shared
+// atomic cursor, so the per-cell handoff cost (atomic RMW + potential
+// goroutine wakeup) is amortized across a batch while stragglers still
+// rebalance. Runs that cannot benefit from fan-out — too few cells to
+// amortize goroutine startup, or a single-P runtime where goroutines only
+// time-slice one core — execute inline on the calling goroutine, making
+// the parallel path never slower than the sequential one. None of this
+// affects results: which worker runs a cell is invisible by contract.
 package runner
 
 import (
@@ -17,6 +26,19 @@ import (
 	"sync"
 	"sync/atomic"
 )
+
+// minParallelCells is the fan-out threshold: below it, goroutine startup
+// and the final barrier cost more than the cells themselves on the small
+// experiments (figure11a, figure12), so the pool runs them inline.
+const minParallelCells = 8
+
+// targetBatchesPerWorker balances handoff amortization against load
+// balancing: each worker claims ~4 batches over a run, so one slow batch
+// can still be compensated by the others without per-cell dispatch.
+const targetBatchesPerWorker = 4
+
+// maxBatch caps the batch size so very large runs keep rebalancing.
+const maxBatch = 64
 
 // Pool is a scenario worker pool. The zero value is not usable; call New.
 // A Pool carries no per-run state and may be shared by concurrent runs.
@@ -36,20 +58,43 @@ func New(workers int) *Pool {
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
 
-// run executes fn(i) for every i in [0, n), fanning across up to
-// p.workers goroutines. Cells are claimed from a shared atomic counter,
-// so stragglers don't serialize behind a fixed pre-partition.
-func (p *Pool) run(n int, fn func(i int)) {
+// width returns how many goroutines to fan n cells across: 1 when the run
+// is too small to amortize fan-out or the runtime has a single P (where
+// extra goroutines only add scheduling overhead to one core).
+func (p *Pool) width(n int) int {
 	w := p.workers
 	if w > n {
 		w = n
 	}
+	if n < minParallelCells || runtime.GOMAXPROCS(0) == 1 {
+		return 1
+	}
+	return w
+}
+
+// batchSize picks the contiguous chunk each claim takes from the cursor.
+func batchSize(n, w int) int {
+	b := n / (w * targetBatchesPerWorker)
+	if b < 1 {
+		b = 1
+	}
+	if b > maxBatch {
+		b = maxBatch
+	}
+	return b
+}
+
+// run executes fn(i) for every i in [0, n), fanning across up to
+// p.workers goroutines with batched claims.
+func (p *Pool) run(n int, fn func(i int)) {
+	w := p.width(n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
+	batch := int64(batchSize(n, w))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
@@ -57,11 +102,17 @@ func (p *Pool) run(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				end := next.Add(batch)
+				start := end - batch
+				if start >= int64(n) {
 					return
 				}
-				fn(i)
+				if end > int64(n) {
+					end = int64(n)
+				}
+				for i := start; i < end; i++ {
+					fn(int(i))
+				}
 			}
 		}()
 	}
@@ -86,10 +137,7 @@ func Map[T any](p *Pool, n int, fn func(i int) T) []T {
 // under that requirement the result is independent of which worker
 // happened to run which cell.
 func Collect[A any](p *Pool, n int, newAcc func() A, cell func(i int, acc A), merge func(dst, src A)) A {
-	w := p.workers
-	if w > n {
-		w = n
-	}
+	w := p.width(n)
 	if w <= 1 {
 		acc := newAcc()
 		for i := 0; i < n; i++ {
@@ -97,6 +145,7 @@ func Collect[A any](p *Pool, n int, newAcc func() A, cell func(i int, acc A), me
 		}
 		return acc
 	}
+	batch := int64(batchSize(n, w))
 	accs := make([]A, w)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -106,11 +155,17 @@ func Collect[A any](p *Pool, n int, newAcc func() A, cell func(i int, acc A), me
 		go func(acc A) {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				end := next.Add(batch)
+				start := end - batch
+				if start >= int64(n) {
 					return
 				}
-				cell(i, acc)
+				if end > int64(n) {
+					end = int64(n)
+				}
+				for i := start; i < end; i++ {
+					cell(int(i), acc)
+				}
 			}
 		}(accs[g])
 	}

@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventChurn measures the schedule→fire cycle, the hottest path
+// of the whole simulator (about half of all allocations before pooling).
+// Steady-state it should not allocate: the fired event goes back to the
+// free list and the next After reuses it.
+func BenchmarkEventChurn(b *testing.B) {
+	k := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(time.Millisecond, fn)
+		k.Step()
+	}
+}
+
+// BenchmarkEventChurnArg is the same cycle through AtArg, the form the
+// modem's retry timers use to avoid per-arm closures.
+func BenchmarkEventChurnArg(b *testing.B) {
+	k := New(1)
+	fn := func(any) {}
+	arg := &struct{ n int }{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.AfterArg(time.Millisecond, fn, arg)
+		k.Step()
+	}
+}
+
+// BenchmarkArmStop measures the arm/cancel cycle of watchdog timers
+// (T3510 armed on Registration Request, stopped on Accept; T3580 per
+// session request; the app request timeout per packet). Cancelled events
+// are reclaimed through compaction, so steady-state this is allocation-
+// free too.
+func BenchmarkArmStop(b *testing.B) {
+	k := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := k.After(time.Second, fn)
+		t.Stop()
+	}
+}
+
+// BenchmarkDeepHeapChurn keeps 1024 pending events while cycling, so the
+// heap sift cost at realistic queue depth is visible.
+func BenchmarkDeepHeapChurn(b *testing.B) {
+	k := New(1)
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		k.After(time.Duration(i+1)*time.Hour, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(time.Millisecond, fn)
+		k.Step()
+	}
+}
+
+// TestKernelHotPathAllocs is the allocation regression guard for the
+// event kernel: the steady-state schedule→fire and arm→stop cycles must
+// stay allocation-free, or the pooling has regressed.
+func TestKernelHotPathAllocs(t *testing.T) {
+	k := New(1)
+	fn := func() {}
+	// Warm the pool (first iteration allocates the event object itself).
+	k.After(time.Millisecond, fn)
+	k.Step()
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		k.After(time.Millisecond, fn)
+		k.Step()
+	}); avg != 0 {
+		t.Errorf("schedule+fire cycle allocates %v objects/op, want 0", avg)
+	}
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		tm := k.After(time.Second, fn)
+		tm.Stop()
+	}); avg != 0 {
+		t.Errorf("arm+stop cycle allocates %v objects/op, want 0", avg)
+	}
+
+	argFn := func(any) {}
+	arg := &struct{}{}
+	if avg := testing.AllocsPerRun(1000, func() {
+		k.AfterArg(time.Millisecond, argFn, arg)
+		k.Step()
+	}); avg != 0 {
+		t.Errorf("AtArg schedule+fire cycle allocates %v objects/op, want 0", avg)
+	}
+}

@@ -10,7 +10,7 @@ import (
 func TestStopCompactsCancelledEvents(t *testing.T) {
 	k := New(1)
 	live := k.After(time.Hour, func() {})
-	timers := make([]*Timer, 1000)
+	timers := make([]Timer, 1000)
 	for i := range timers {
 		timers[i] = k.After(time.Duration(i+1)*time.Second, func() {})
 	}
@@ -40,7 +40,7 @@ func TestStopCompactsCancelledEvents(t *testing.T) {
 func TestCompactionPreservesOrdering(t *testing.T) {
 	k := New(1)
 	var got []int
-	var cancels []*Timer
+	var cancels []Timer
 	for i := 0; i < 200; i++ {
 		if i%2 == 0 {
 			k.At(time.Duration(i)*time.Millisecond, func() { got = append(got, i) })
@@ -83,7 +83,7 @@ func TestFiredEventReleasesClosure(t *testing.T) {
 // correct through cancels, compactions and event execution.
 func TestPendingConstantTime(t *testing.T) {
 	k := New(1)
-	var tms []*Timer
+	var tms []Timer
 	for i := 0; i < 10; i++ {
 		tms = append(tms, k.After(time.Duration(i+1)*time.Second, func() {}))
 	}

@@ -8,7 +8,8 @@ type Ticker struct {
 	k       *Kernel
 	period  time.Duration
 	fn      func()
-	timer   *Timer
+	tick    func() // built once; rearming allocates nothing
+	timer   Timer
 	stopped bool
 }
 
@@ -19,12 +20,7 @@ func (k *Kernel) Every(period time.Duration, fn func()) *Ticker {
 		panic("sched: Every requires a positive period")
 	}
 	t := &Ticker{k: k, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.timer = t.k.After(t.period, func() {
+	t.tick = func() {
 		if t.stopped {
 			return
 		}
@@ -32,7 +28,13 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.k.After(t.period, t.tick)
 }
 
 // Stop cancels future ticks. It is safe to call from within the callback.
