@@ -1,0 +1,78 @@
+// Command seedfleetd is the carrier fleet aggregation server: the SEED
+// carrier-side plugin (§5.3/§6) as a networked service. Devices upload
+// sealed learning-record blobs and failure reports over the fleet wire
+// protocol; seedfleetd folds them into the collaborative online-learning
+// model across sharded aggregation workers and answers model queries
+// with sealed suggestions.
+//
+// Usage:
+//
+//	seedfleetd [-addr HOST:PORT] [-shards N] [-queue N] [-max-frame BYTES]
+//	           [-read-timeout D] [-write-timeout D] [-retry-after D]
+//	           [-snapshot FILE] [-master HEX32]
+//
+// SIGINT/SIGTERM drains gracefully: in-flight round trips complete, every
+// queued upload is folded and acknowledged, the aggregate model is
+// snapshotted to -snapshot (if set), and the process exits 0 after
+// logging "drain complete". Restarting with the same -snapshot restores
+// the model, so no learning is lost across restarts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/seed5g/seed/internal/fleet"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7316", "TCP listen address (\":0\" picks a free port)")
+		shards       = flag.Int("shards", 4, "aggregation worker shards")
+		queue        = flag.Int("queue", 256, "per-shard bounded queue depth")
+		maxFrame     = flag.Uint("max-frame", fleet.DefaultMaxFrame, "max accepted frame payload bytes")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "per-response write deadline")
+		retryAfter   = flag.Duration("retry-after", 25*time.Millisecond, "backpressure wait hint")
+		snapshot     = flag.String("snapshot", "", "aggregate-model snapshot file (restored on start, written on drain)")
+		master       = flag.String("master", "", "fleet master key, 32 hex digits (default: built-in dev key)")
+	)
+	flag.Parse()
+
+	cfg := fleet.ServerConfig{
+		Addr:         *addr,
+		Shards:       *shards,
+		QueueDepth:   *queue,
+		MaxFrame:     uint32(*maxFrame),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		RetryAfter:   *retryAfter,
+		SnapshotPath: *snapshot,
+	}
+	if *master != "" {
+		k, err := fleet.ParseMasterKey(*master)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.MasterKey = k
+	}
+
+	srv := fleet.NewServer(cfg)
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "seedfleetd:", err)
+		os.Exit(1)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	if err := srv.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "seedfleetd: shutdown:", err)
+		os.Exit(1)
+	}
+}

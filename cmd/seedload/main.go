@@ -1,0 +1,298 @@
+// Command seedload is the fleet load generator: it drives N simulated
+// SEED devices through the full upload → aggregate → model-push round
+// trip against a running seedfleetd, measures throughput and tail
+// latency, and verifies the networked aggregate against an in-process
+// sequential baseline byte-for-byte.
+//
+// Usage:
+//
+//	seedload [-addr HOST:PORT] [-devices N] [-workers N] [-conns N]
+//	         [-records N] [-reports N] [-causes N] [-seed S]
+//	         [-master HEX32] [-json FILE] [-verify=false] [-quiet]
+//
+// Each device's learning records are generated deterministically from
+// (-seed, device index) via the same splitmix derivation the parallel
+// scenario runner uses, so the expected aggregate model is computable
+// without the network: seedload folds every device's records into a
+// local core.Learner (the in-process sequential baseline), pulls the
+// server's merged model after the drive, and compares the two canonical
+// serializations. Any lost upload or model divergence exits non-zero.
+//
+// -workers is the client-shard count: devices are partitioned across
+// worker goroutines, each performing synchronous round trips through the
+// shared connection pool. p50/p95/p99 latencies cover the whole exchange
+// including backoff waits — what a device experiences under backpressure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/core"
+	"github.com/seed5g/seed/internal/fleet"
+	"github.com/seed5g/seed/internal/metrics"
+	"github.com/seed5g/seed/internal/report"
+	"github.com/seed5g/seed/internal/sched"
+)
+
+// result is the machine-readable run record (-json).
+type result struct {
+	Devices       int     `json:"devices"`
+	Workers       int     `json:"workers"`
+	Conns         int     `json:"conns"`
+	Records       int     `json:"records_per_device"`
+	Reports       int     `json:"reports_per_device"`
+	Seed          int64   `json:"seed"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	WallMS        float64 `json:"wall_ms"`
+	UploadsPerSec float64 `json:"uploads_per_sec"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	Lost          int64   `json:"lost"`
+	Retries       uint64  `json:"client_retries"`
+	Redials       uint64  `json:"client_redials"`
+	ModelMatch    *bool   `json:"model_match,omitempty"`
+	ModelBytes    int     `json:"model_bytes"`
+	Suggestions   int64   `json:"suggestions_received"`
+
+	UploadP50MS float64 `json:"upload_p50_ms"`
+	UploadP95MS float64 `json:"upload_p95_ms"`
+	UploadP99MS float64 `json:"upload_p99_ms"`
+	QueryP50MS  float64 `json:"query_p50_ms"`
+	QueryP95MS  float64 `json:"query_p95_ms"`
+	QueryP99MS  float64 `json:"query_p99_ms"`
+
+	Server fleet.ServerStats `json:"server"`
+}
+
+// deviceLoad is one device's deterministic workload.
+type deviceLoad struct {
+	imsi    string
+	records map[cause.Cause]map[core.ActionID]int
+	reports []report.FailureReport
+	query   cause.Cause
+}
+
+// genDevice derives device i's workload from the root seed. Causes are
+// operator-customized codes (the §5.3 unknown-failure space) spread over
+// both planes; actions follow the trial order.
+func genDevice(rootSeed int64, i, records, reports, causes int) deviceLoad {
+	rng := rand.New(rand.NewSource(sched.DeriveSeed(rootSeed, uint64(i))))
+	d := deviceLoad{
+		imsi:    fmt.Sprintf("310170%09d", i+1),
+		records: make(map[cause.Cause]map[core.ActionID]int),
+	}
+	for r := 0; r < records; r++ {
+		c := cause.Cause{Plane: cause.ControlPlane, Code: cause.Code(150 + rng.Intn(causes))}
+		if rng.Intn(2) == 1 {
+			c.Plane = cause.DataPlane
+		}
+		a := core.LearningOrder[rng.Intn(len(core.LearningOrder))]
+		if d.records[c] == nil {
+			d.records[c] = make(map[core.ActionID]int)
+		}
+		d.records[c][a] += 1 + rng.Intn(3)
+		d.query = c
+	}
+	for r := 0; r < reports; r++ {
+		switch rng.Intn(3) {
+		case 0:
+			d.reports = append(d.reports, report.FailureReport{
+				Type: report.FailDNS, Direction: report.DirBoth, Domain: "fleet.example.com",
+			})
+		case 1:
+			d.reports = append(d.reports, report.FailureReport{
+				Type: report.FailTCP, Direction: report.DirUplink,
+				Addr: [4]byte{10, 0, 0, byte(rng.Intn(256))}, Port: 443,
+			})
+		default:
+			d.reports = append(d.reports, report.FailureReport{
+				Type: report.FailUDP, Direction: report.DirDownlink,
+				Addr: [4]byte{10, 0, 1, byte(rng.Intn(256))}, Port: 53,
+			})
+		}
+	}
+	if d.query == (cause.Cause{}) {
+		d.query = cause.MM(150)
+	}
+	return d
+}
+
+func ms(s *metrics.Series, p float64) float64 {
+	if s == nil {
+		return 0
+	}
+	return float64(s.Percentile(p)) / float64(time.Millisecond)
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7316", "seedfleetd address")
+		devices = flag.Int("devices", 1000, "simulated device count")
+		workers = flag.Int("workers", 4, "client shards (worker goroutines)")
+		conns   = flag.Int("conns", 0, "connection pool size (default: workers)")
+		records = flag.Int("records", 4, "learning-record rows per device")
+		reports = flag.Int("reports", 1, "failure reports per device")
+		causes  = flag.Int("causes", 12, "distinct customized causes per plane")
+		seedVal = flag.Int64("seed", 1, "workload seed")
+		master  = flag.String("master", "", "fleet master key, 32 hex digits (default: built-in dev key)")
+		jsonOut = flag.String("json", "", "write machine-readable results to FILE (\"-\" for stdout)")
+		verify  = flag.Bool("verify", true, "compare the server model against the in-process baseline")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	masterKey := fleet.DefaultMasterKey
+	if *master != "" {
+		k, err := fleet.ParseMasterKey(*master)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		masterKey = k
+	}
+	if *conns <= 0 {
+		*conns = *workers
+	}
+
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	// Generate the fleet's deterministic workload and the in-process
+	// sequential baseline model.
+	loads := make([]deviceLoad, *devices)
+	baseline := core.NewLearner(0.1, rand.New(rand.NewSource(*seedVal)))
+	for i := range loads {
+		loads[i] = genDevice(*seedVal, i, *records, *reports, *causes)
+		baseline.Crowdsource(loads[i].records)
+	}
+	expected := fleet.MarshalModel(baseline.Export())
+	logf("seedload: %d devices, %d workers, %d conns, %d record rows/device (model %d bytes)",
+		*devices, *workers, *conns, *records, len(expected))
+
+	cl := fleet.NewClient(fleet.ClientConfig{Addr: *addr, Conns: *conns, Seed: *seedVal})
+	defer cl.Close()
+
+	var lost, suggestions atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		lo := *devices * w / *workers
+		hi := *devices * (w + 1) / *workers
+		wg.Add(1)
+		go func(chunk []deviceLoad) {
+			defer wg.Done()
+			for _, ld := range chunk {
+				dev := fleet.NewSimDevice(masterKey, ld.imsi)
+				blob := core.MarshalRecords(ld.records)
+				sealed, err := dev.SealRecords(blob)
+				if err == nil {
+					err = cl.UploadRecords(ld.imsi, sealed)
+				}
+				if err != nil {
+					lost.Add(1)
+					fmt.Fprintf(os.Stderr, "seedload: %s: %v\n", ld.imsi, err)
+					continue
+				}
+				for _, rep := range ld.reports {
+					sr, err := dev.SealReport(rep.Marshal())
+					if err == nil {
+						err = cl.Report(ld.imsi, sr)
+					}
+					if err != nil {
+						lost.Add(1)
+						fmt.Fprintf(os.Stderr, "seedload: %s report: %v\n", ld.imsi, err)
+					}
+				}
+				if _, ok, err := dev.QuerySuggestion(cl, ld.query); err == nil && ok {
+					suggestions.Add(1)
+				}
+			}
+		}(loads[lo:hi])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := result{
+		Devices: *devices, Workers: *workers, Conns: *conns,
+		Records: *records, Reports: *reports, Seed: *seedVal,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		WallMS:        float64(wall) / float64(time.Millisecond),
+		UploadsPerSec: float64(*devices) / wall.Seconds(),
+		Lost:          lost.Load(),
+		Retries:       cl.Retries(),
+		Redials:       cl.Redials(),
+		Suggestions:   suggestions.Load(),
+		UploadP50MS:   ms(cl.Latency("upload"), 50),
+		UploadP95MS:   ms(cl.Latency("upload"), 95),
+		UploadP99MS:   ms(cl.Latency("upload"), 99),
+		QueryP50MS:    ms(cl.Latency("query"), 50),
+		QueryP95MS:    ms(cl.Latency("query"), 95),
+		QueryP99MS:    ms(cl.Latency("query"), 99),
+	}
+	totalOps := *devices * (2 + *reports) // upload + reports + query
+	res.OpsPerSec = float64(totalOps) / wall.Seconds()
+
+	if st, err := cl.FetchStats(); err == nil {
+		res.Server = st
+	} else {
+		fmt.Fprintf(os.Stderr, "seedload: stats pull: %v\n", err)
+	}
+
+	exit := 0
+	if *verify {
+		got, err := cl.FetchModel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seedload: model pull: %v\n", err)
+			exit = 1
+		} else {
+			res.ModelBytes = len(got)
+			match := string(got) == string(expected)
+			res.ModelMatch = &match
+			if !match {
+				fmt.Fprintf(os.Stderr, "seedload: MODEL MISMATCH: server %d bytes, baseline %d bytes\n",
+					len(got), len(expected))
+				exit = 1
+			}
+		}
+	}
+	if res.Lost > 0 {
+		fmt.Fprintf(os.Stderr, "seedload: %d uploads LOST\n", res.Lost)
+		exit = 1
+	}
+
+	logf("seedload: %d uploads in %.1fms — %.0f uploads/s, %.0f ops/s (lost=%d retries=%d redials=%d)",
+		*devices, res.WallMS, res.UploadsPerSec, res.OpsPerSec, res.Lost, res.Retries, res.Redials)
+	logf("seedload: %s", cl.LatencySummary("upload"))
+	logf("seedload: %s", cl.LatencySummary("query"))
+	if res.ModelMatch != nil {
+		logf("seedload: model match: %v (%d bytes, %d suggestions received)", *res.ModelMatch, res.ModelBytes, res.Suggestions)
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err == nil {
+			buf = append(buf, '\n')
+			if *jsonOut == "-" {
+				_, err = os.Stdout.Write(buf)
+			} else {
+				err = os.WriteFile(*jsonOut, buf, 0o644)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seedload: writing %s: %v\n", *jsonOut, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}

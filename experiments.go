@@ -1030,10 +1030,10 @@ func ExperimentLearning(devices, causesPerPlane, trialsPerCause int, seedVal int
 			stop()
 			tb.ClearInjections(d)
 			tb.Advance(15 * time.Second)
-			// Upload the SIM records after each recovery (OTA leg).
-			d.inner.CApp.UploadRecords(func(blob []byte) {
-				_ = tb.plugin.ReceiveRecordUpload(blob)
-			})
+			// Upload the SIM records after each recovery (OTA leg). The
+			// destination is the testbed-wired default sink: the local
+			// infrastructure plugin.
+			d.inner.CApp.UploadRecords()
 			tb.Advance(time.Second)
 		}
 	}

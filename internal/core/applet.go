@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/seed5g/seed/internal/cause"
@@ -549,6 +550,48 @@ func (a *SEEDApplet) marshalRecords() []byte {
 	for k2, v := range a.records {
 		out = append(out, byte(k2.plane), byte(k2.code), byte(k2.action))
 		out = binary.BigEndian.AppendUint16(out, v)
+	}
+	return out
+}
+
+// MarshalRecords encodes a record map in the OTA upload wire format (the
+// inverse of UnmarshalRecords). Entries are emitted in (plane, code,
+// action) order so the encoding is canonical: equal maps produce equal
+// bytes, which lets the fleet load generator compare a networked
+// aggregate against an in-process baseline byte-for-byte. Counts are
+// clamped to the uint16 wire field.
+func MarshalRecords(recs map[cause.Cause]map[ActionID]int) []byte {
+	type row struct {
+		c cause.Cause
+		a ActionID
+		n int
+	}
+	rows := make([]row, 0, len(recs)*2)
+	for c, acts := range recs {
+		for a, n := range acts {
+			if n <= 0 {
+				continue
+			}
+			rows = append(rows, row{c, a, n})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].c.Plane != rows[j].c.Plane {
+			return rows[i].c.Plane < rows[j].c.Plane
+		}
+		if rows[i].c.Code != rows[j].c.Code {
+			return rows[i].c.Code < rows[j].c.Code
+		}
+		return rows[i].a < rows[j].a
+	})
+	out := make([]byte, 0, len(rows)*5)
+	for _, r := range rows {
+		n := r.n
+		if n > 0xFFFF {
+			n = 0xFFFF
+		}
+		out = append(out, byte(r.c.Plane), byte(r.c.Code), byte(r.a))
+		out = binary.BigEndian.AppendUint16(out, uint16(n))
 	}
 	return out
 }

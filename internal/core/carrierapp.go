@@ -51,6 +51,12 @@ type CarrierApp struct {
 	// modem (Figure 12 instrumentation).
 	OnUplinkSent func()
 
+	// recordSink receives the SIM's learning-record blobs on UploadRecords.
+	// The in-process testbed points it at the local infrastructure plugin;
+	// the fleet client points it at a networked carrier service — both
+	// uploads go through the same carrier-app code path.
+	recordSink RecordSink
+
 	// appletSelected caches whether the SEED applet's logical channel is
 	// already open (SELECT once, then ENVELOPE directly).
 	appletSelected bool
@@ -167,12 +173,21 @@ func (c *CarrierApp) NotifySessionUp(s *modem.Session) {
 	}
 }
 
+// RecordSink consumes a SIM learning-record blob pulled by UploadRecords.
+// Implementations may deliver it in-process (the testbed's infrastructure
+// plugin) or over the network (the fleet client).
+type RecordSink func(blob []byte)
+
+// SetRecordSink installs the destination for uploaded learning records.
+func (c *CarrierApp) SetRecordSink(sink RecordSink) { c.recordSink = sink }
+
 // UploadRecords pulls the SIM's learning records (envelope 0x04) and
-// hands them to sink — the OTA leg of Algorithm 1 line 6.
-func (c *CarrierApp) UploadRecords(sink func([]byte)) {
+// hands them to the configured RecordSink — the OTA leg of Algorithm 1
+// line 6. Empty record sets are not delivered.
+func (c *CarrierApp) UploadRecords() {
 	c.toSIM([]byte{envUploadRecs}, func(data []byte, err error) {
-		if err == nil && len(data) > 0 && sink != nil {
-			sink(data)
+		if err == nil && len(data) > 0 && c.recordSink != nil {
+			c.recordSink(data)
 		}
 	})
 }

@@ -143,7 +143,8 @@ func TestCarrierUploadRecordsEmptyIsSilent(t *testing.T) {
 	d := w.addDevice(t, "310170000057001", SEEDU)
 	attach(t, w, d)
 	called := false
-	d.CApp.UploadRecords(func([]byte) { called = true })
+	d.CApp.SetRecordSink(func([]byte) { called = true })
+	d.CApp.UploadRecords()
 	w.k.RunFor(time.Second)
 	if called {
 		t.Fatal("sink invoked for empty records")

@@ -82,3 +82,33 @@ func (l *Learner) Suggest(c cause.Cause) (ActionID, bool) {
 
 // Causes returns the number of distinct causes with evidence.
 func (l *Learner) Causes() int { return len(l.net) }
+
+// Actions returns a copy of the per-action success counts for one cause
+// (nil when the cause has no evidence).
+func (l *Learner) Actions(c cause.Cause) map[ActionID]int {
+	acts := l.net[c]
+	if len(acts) == 0 {
+		return nil
+	}
+	out := make(map[ActionID]int, len(acts))
+	for a, n := range acts {
+		out[a] = n
+	}
+	return out
+}
+
+// Export returns a deep copy of the crowd-sourced model: every cause's
+// per-action success counts. Feeding the copy back through Crowdsource
+// reproduces the state exactly, which is what the fleet server's
+// snapshot/restore and model-pull paths rely on.
+func (l *Learner) Export() map[cause.Cause]map[ActionID]int {
+	out := make(map[cause.Cause]map[ActionID]int, len(l.net))
+	for c, acts := range l.net {
+		m := make(map[ActionID]int, len(acts))
+		for a, n := range acts {
+			m[a] = n
+		}
+		out[c] = m
+	}
+	return out
+}

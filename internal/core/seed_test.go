@@ -499,11 +499,12 @@ func TestOnlineLearningEndToEnd(t *testing.T) {
 		t.Fatal("first device never recovered")
 	}
 	// Upload its records to the infrastructure.
-	d1.CApp.UploadRecords(func(blob []byte) {
+	d1.CApp.SetRecordSink(func(blob []byte) {
 		if err := w.plugin.ReceiveRecordUpload(blob); err != nil {
 			t.Errorf("record upload: %v", err)
 		}
 	})
+	d1.CApp.UploadRecords()
 	w.k.RunFor(time.Second)
 	if w.plugin.Learner.Causes() == 0 {
 		t.Fatal("learner has no evidence after upload")

@@ -1,0 +1,317 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/metrics"
+)
+
+// ClientConfig parameterizes the fleet client.
+type ClientConfig struct {
+	// Addr is the server address.
+	Addr string
+	// Conns bounds the connection pool. Connections are dialed lazily and
+	// shared by all devices the client drives.
+	Conns int
+	// DialTimeout bounds connection establishment; RequestTimeout bounds
+	// one round trip (write + read) on a connection.
+	DialTimeout, RequestTimeout time.Duration
+	// MaxRetries is the number of attempts per request beyond the first,
+	// covering both transport errors and TRetryAfter backpressure.
+	MaxRetries int
+	// BackoffBase/BackoffMax shape the jittered exponential backoff used
+	// after transport errors; TRetryAfter responses honor the server's
+	// wait hint (plus jitter) instead.
+	BackoffBase, BackoffMax time.Duration
+	// MaxFrame bounds accepted response payloads.
+	MaxFrame uint32
+	// Seed seeds the backoff jitter (deterministic load patterns).
+	Seed int64
+}
+
+func (c *ClientConfig) withDefaults() {
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 8
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 5 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 500 * time.Millisecond
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Client is a pooled fleet-protocol client with retry, backpressure
+// handling, and a latency recorder.
+type Client struct {
+	cfg  ClientConfig
+	pool chan *poolConn // nil entries are dial permits
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	latMu sync.Mutex
+	lat   map[string]*metrics.Series
+
+	retries, redials uint64 // latMu-guarded (low-rate counters)
+}
+
+type poolConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// ErrServer wraps a TErr response.
+var ErrServer = errors.New("fleet: server error")
+
+// NewClient creates a client; connections are dialed on first use.
+func NewClient(cfg ClientConfig) *Client {
+	cfg.withDefaults()
+	cl := &Client{
+		cfg:  cfg,
+		pool: make(chan *poolConn, cfg.Conns),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		lat:  map[string]*metrics.Series{},
+	}
+	for i := 0; i < cfg.Conns; i++ {
+		cl.pool <- nil // dial permit
+	}
+	return cl
+}
+
+// Close tears down all pooled connections.
+func (cl *Client) Close() {
+	for i := 0; i < cl.cfg.Conns; i++ {
+		if pc := <-cl.pool; pc != nil {
+			_ = pc.c.Close()
+		}
+	}
+}
+
+// checkout takes a pooled connection, dialing if the permit is unused.
+func (cl *Client) checkout() (*poolConn, error) {
+	pc := <-cl.pool
+	if pc != nil {
+		return pc, nil
+	}
+	c, err := net.DialTimeout("tcp", cl.cfg.Addr, cl.cfg.DialTimeout)
+	if err != nil {
+		cl.pool <- nil // return the permit
+		return nil, err
+	}
+	return &poolConn{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}, nil
+}
+
+func (cl *Client) putBack(pc *poolConn, broken bool) {
+	if broken {
+		_ = pc.c.Close()
+		cl.latMu.Lock()
+		cl.redials++
+		cl.latMu.Unlock()
+		cl.pool <- nil
+		return
+	}
+	cl.pool <- pc
+}
+
+// roundTrip performs one request/response exchange on a pooled connection.
+func (cl *Client) roundTrip(req Frame) (Frame, error) {
+	pc, err := cl.checkout()
+	if err != nil {
+		return Frame{}, err
+	}
+	deadline := time.Now().Add(cl.cfg.RequestTimeout)
+	_ = pc.c.SetDeadline(deadline)
+	if err := WriteFrame(pc.bw, req); err != nil {
+		cl.putBack(pc, true)
+		return Frame{}, err
+	}
+	resp, err := ReadFrame(pc.br, cl.cfg.MaxFrame)
+	if err != nil {
+		cl.putBack(pc, true)
+		return Frame{}, err
+	}
+	cl.putBack(pc, false)
+	return resp, nil
+}
+
+// Do performs a request with retries: transport errors back off
+// exponentially with jitter, TRetryAfter honors the server's hint, and
+// TErr fails immediately (the request itself is bad). The latency of the
+// whole exchange — including backoff waits, what a device experiences —
+// is recorded under op.
+func (cl *Client) Do(op string, req Frame) (Frame, error) {
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; attempt <= cl.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			cl.latMu.Lock()
+			cl.retries++
+			cl.latMu.Unlock()
+		}
+		resp, err := cl.roundTrip(req)
+		if err != nil {
+			lastErr = err
+			cl.sleep(cl.backoff(attempt))
+			continue
+		}
+		switch resp.Type {
+		case TRetryAfter:
+			millis, err := ParseRetryAfter(resp.Payload)
+			if err != nil {
+				return Frame{}, err
+			}
+			lastErr = fmt.Errorf("fleet: backpressured (retry after %dms)", millis)
+			cl.sleep(time.Duration(millis)*time.Millisecond + cl.jitter(cl.cfg.BackoffBase))
+			continue
+		case TErr:
+			return Frame{}, fmt.Errorf("%w: %s", ErrServer, resp.Payload)
+		default:
+			cl.record(op, time.Since(start))
+			return resp, nil
+		}
+	}
+	return Frame{}, fmt.Errorf("fleet: %s failed after %d attempts: %w", op, cl.cfg.MaxRetries+1, lastErr)
+}
+
+// backoff returns the jittered exponential wait for an attempt.
+func (cl *Client) backoff(attempt int) time.Duration {
+	d := cl.cfg.BackoffBase << uint(attempt)
+	if d > cl.cfg.BackoffMax || d <= 0 {
+		d = cl.cfg.BackoffMax
+	}
+	return d/2 + cl.jitter(d)
+}
+
+// jitter draws a uniform duration in [0, d/2).
+func (cl *Client) jitter(d time.Duration) time.Duration {
+	if d < 2 {
+		return 0
+	}
+	cl.rngMu.Lock()
+	j := time.Duration(cl.rng.Int63n(int64(d / 2)))
+	cl.rngMu.Unlock()
+	return j
+}
+
+func (cl *Client) sleep(d time.Duration) { time.Sleep(d) }
+
+func (cl *Client) record(op string, d time.Duration) {
+	cl.latMu.Lock()
+	s := cl.lat[op]
+	if s == nil {
+		s = metrics.NewSeries(op)
+		cl.lat[op] = s
+	}
+	s.Add(d)
+	cl.latMu.Unlock()
+}
+
+// --- request surface -----------------------------------------------------
+
+// UploadRecords ships a sealed learning-record blob for a device. It
+// returns only after the server acknowledged the fold (or the duplicate).
+func (cl *Client) UploadRecords(imsi string, sealed []byte) error {
+	_, err := cl.Do("upload", Frame{Type: TUpload, Payload: AppendSealedPayload(nil, imsi, sealed)})
+	return err
+}
+
+// Report ships a sealed failure report for a device.
+func (cl *Client) Report(imsi string, sealed []byte) error {
+	_, err := cl.Do("report", Frame{Type: TReport, Payload: AppendSealedPayload(nil, imsi, sealed)})
+	return err
+}
+
+// Query asks the aggregate model for a suggestion (the model-push leg).
+// It returns the raw sealed TSuggest payload (empty when the model
+// abstains); the caller opens it with the device's envelope.
+func (cl *Client) Query(imsi string, c cause.Cause) ([]byte, error) {
+	resp, err := cl.Do("query", Frame{Type: TQuery, Payload: AppendQueryPayload(nil, imsi, c)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Payload, nil
+}
+
+// FetchModel pulls the canonical serialized aggregate model.
+func (cl *Client) FetchModel() ([]byte, error) {
+	resp, err := cl.Do("model", Frame{Type: TModelPull})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Payload, nil
+}
+
+// FetchStats pulls the server counters.
+func (cl *Client) FetchStats() (ServerStats, error) {
+	var st ServerStats
+	resp, err := cl.Do("stats", Frame{Type: TStatsPull})
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(resp.Payload, &st); err != nil {
+		return st, fmt.Errorf("fleet: stats payload: %w", err)
+	}
+	return st, nil
+}
+
+// Retries returns how many request attempts were retries; Redials how
+// many pooled connections were discarded after transport errors.
+func (cl *Client) Retries() uint64 {
+	cl.latMu.Lock()
+	defer cl.latMu.Unlock()
+	return cl.retries
+}
+
+// Redials returns the number of discarded-and-redialed pool connections.
+func (cl *Client) Redials() uint64 {
+	cl.latMu.Lock()
+	defer cl.latMu.Unlock()
+	return cl.redials
+}
+
+// Latency returns the recorded series for an op ("upload", "query", …),
+// or nil when the op never completed. The series is shared — callers
+// must not mutate it concurrently with in-flight requests.
+func (cl *Client) Latency(op string) *metrics.Series {
+	cl.latMu.Lock()
+	defer cl.latMu.Unlock()
+	return cl.lat[op]
+}
+
+// LatencySummary formats p50/p95/p99 for an op in milliseconds.
+func (cl *Client) LatencySummary(op string) string {
+	s := cl.Latency(op)
+	if s == nil || s.Len() == 0 {
+		return op + ": no samples"
+	}
+	return fmt.Sprintf("%s: n=%d p50=%.2fms p95=%.2fms p99=%.2fms",
+		op, s.Len(),
+		float64(s.Percentile(50))/float64(time.Millisecond),
+		float64(s.Percentile(95))/float64(time.Millisecond),
+		float64(s.Percentile(99))/float64(time.Millisecond))
+}

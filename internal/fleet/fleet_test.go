@@ -1,0 +1,268 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/core"
+	"github.com/seed5g/seed/internal/report"
+)
+
+// startServer runs a quiet server on a free loopback port and returns it
+// with a pooled client. Shutdown order (client first) mirrors real use.
+func startServer(t *testing.T, cfg ServerConfig) (*Server, *Client) {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	srv := NewServer(cfg)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cl := NewClient(ClientConfig{Addr: srv.Addr().String(), Conns: 2})
+	t.Cleanup(func() {
+		cl.Close()
+		_ = srv.Shutdown()
+	})
+	return srv, cl
+}
+
+func deviceRecords(i int) map[cause.Cause]map[core.ActionID]int {
+	c := cause.MM(cause.Code(150 + i%3))
+	a := core.LearningOrder[i%len(core.LearningOrder)]
+	return map[cause.Cause]map[core.ActionID]int{c: {a: 1 + i%2}}
+}
+
+// TestFleetEndToEnd drives devices through upload → report → query and
+// checks the aggregate model is byte-identical to a sequential in-process
+// fold, the suggestion round trip opens, and nothing was dropped.
+func TestFleetEndToEnd(t *testing.T) {
+	srv, cl := startServer(t, ServerConfig{Shards: 3, QueueDepth: 8})
+
+	const devices = 40
+	baseline := core.NewLearner(0.1, rand.New(rand.NewSource(1)))
+	var wg sync.WaitGroup
+	for i := 0; i < devices; i++ {
+		recs := deviceRecords(i)
+		baseline.Crowdsource(recs)
+		wg.Add(1)
+		go func(i int, recs map[cause.Cause]map[core.ActionID]int) {
+			defer wg.Done()
+			dev := NewSimDevice(DefaultMasterKey, fmt.Sprintf("00101%010d", i))
+			sealed, err := dev.SealRecords(core.MarshalRecords(recs))
+			if err == nil {
+				err = cl.UploadRecords(dev.IMSI, sealed)
+			}
+			if err != nil {
+				t.Errorf("device %d upload: %v", i, err)
+				return
+			}
+			rep := report.FailureReport{Type: report.FailDNS, Direction: report.DirBoth, Domain: "x.test"}
+			sr, err := dev.SealReport(rep.Marshal())
+			if err == nil {
+				err = cl.Report(dev.IMSI, sr)
+			}
+			if err != nil {
+				t.Errorf("device %d report: %v", i, err)
+			}
+		}(i, recs)
+	}
+	wg.Wait()
+
+	got, err := cl.FetchModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MarshalModel(baseline.Export())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("aggregate model differs: server %d bytes, baseline %d bytes", len(got), len(want))
+	}
+
+	// Model-push leg: the hottest cause must come back as a sealed
+	// suggestion the device can open.
+	dev := NewSimDevice(DefaultMasterKey, "001010000000000")
+	m, ok, err := dev.QuerySuggestion(cl, cause.MM(150))
+	if err != nil || !ok {
+		t.Fatalf("query: ok=%v err=%v", ok, err)
+	}
+	if m.Kind != core.DiagSuggestAction || m.Code != 150 {
+		t.Fatalf("suggestion %+v", m)
+	}
+	// A cause nobody reported → abstain, not an error.
+	if _, ok, err := dev.QuerySuggestion(cl, cause.SM(250)); err != nil || ok {
+		t.Fatalf("expected abstain, got ok=%v err=%v", ok, err)
+	}
+
+	st := srv.Stats()
+	if st.Uploads != devices || st.Reports != devices || st.Dropped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestFleetDuplicateUploadIdempotent replays the exact sealed bytes of an
+// acknowledged upload (a client retry after a lost ack) and checks the
+// server acks without folding twice.
+func TestFleetDuplicateUploadIdempotent(t *testing.T) {
+	srv, cl := startServer(t, ServerConfig{Shards: 2})
+
+	dev := NewSimDevice(DefaultMasterKey, "001010000000099")
+	sealed, err := dev.SealRecords(core.MarshalRecords(deviceRecords(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.UploadRecords(dev.IMSI, sealed); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := cl.FetchModel()
+	for i := 0; i < 3; i++ {
+		if err := cl.UploadRecords(dev.IMSI, sealed); err != nil {
+			t.Fatalf("retry %d: %v", i, err)
+		}
+	}
+	after, _ := cl.FetchModel()
+	if !bytes.Equal(before, after) {
+		t.Fatal("duplicate upload changed the model")
+	}
+	st := srv.Stats()
+	if st.Uploads != 1 || st.Duplicates != 3 {
+		t.Fatalf("uploads=%d duplicates=%d", st.Uploads, st.Duplicates)
+	}
+}
+
+// TestFleetTamperedUploadRejected flips a ciphertext bit and expects a
+// server error (integrity), with the connection still usable after.
+func TestFleetTamperedUploadRejected(t *testing.T) {
+	_, cl := startServer(t, ServerConfig{Shards: 1})
+
+	dev := NewSimDevice(DefaultMasterKey, "001010000000003")
+	sealed, err := dev.SealRecords(core.MarshalRecords(deviceRecords(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := append([]byte(nil), sealed...)
+	tampered[len(tampered)-1] ^= 0xFF
+	if err := cl.UploadRecords(dev.IMSI, tampered); err == nil {
+		t.Fatal("tampered upload accepted")
+	} else if !strings.Contains(err.Error(), "integrity") {
+		t.Fatalf("want integrity failure, got %v", err)
+	}
+	// The connection survives the error frame; a clean upload still works.
+	dev2 := NewSimDevice(DefaultMasterKey, "001010000000004")
+	sealed2, _ := dev2.SealRecords(core.MarshalRecords(deviceRecords(2)))
+	if err := cl.UploadRecords(dev2.IMSI, sealed2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetBackpressureNoLoss wedges a 1-deep queue on a single shard with
+// concurrent uploads. Some must be backpressured; the client's RETRY-AFTER
+// handling must still land every upload exactly once.
+func TestFleetBackpressureNoLoss(t *testing.T) {
+	srv, cl := startServer(t, ServerConfig{Shards: 1, QueueDepth: 1, RetryAfter: time.Millisecond})
+
+	const devices = 32
+	baseline := core.NewLearner(0.1, rand.New(rand.NewSource(1)))
+	var wg sync.WaitGroup
+	for i := 0; i < devices; i++ {
+		recs := deviceRecords(i)
+		baseline.Crowdsource(recs)
+		wg.Add(1)
+		go func(i int, recs map[cause.Cause]map[core.ActionID]int) {
+			defer wg.Done()
+			dev := NewSimDevice(DefaultMasterKey, fmt.Sprintf("00102%010d", i))
+			sealed, err := dev.SealRecords(core.MarshalRecords(recs))
+			if err == nil {
+				err = cl.UploadRecords(dev.IMSI, sealed)
+			}
+			if err != nil {
+				t.Errorf("device %d: %v", i, err)
+			}
+		}(i, recs)
+	}
+	wg.Wait()
+
+	got, err := cl.FetchModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, MarshalModel(baseline.Export())) {
+		t.Fatal("model diverged under backpressure")
+	}
+	if st := srv.Stats(); st.Uploads != devices || st.Dropped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	t.Logf("backpressured=%d retries=%d", srv.Stats().Backpressured, cl.Retries())
+}
+
+// TestFleetDrainAndSnapshotRestore shuts a server down mid-life, restarts
+// on the same snapshot, and checks the model survived the restart and new
+// uploads keep folding on top.
+func TestFleetDrainAndSnapshotRestore(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "fleet.snap")
+
+	cfg := ServerConfig{Addr: "127.0.0.1:0", Shards: 2, SnapshotPath: snap, Logf: func(string, ...any) {}}
+	srv1 := NewServer(cfg)
+	if err := srv1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cl1 := NewClient(ClientConfig{Addr: srv1.Addr().String(), Conns: 1})
+	dev := NewSimDevice(DefaultMasterKey, "001010000000010")
+	sealed, _ := dev.SealRecords(core.MarshalRecords(deviceRecords(5)))
+	if err := cl1.UploadRecords(dev.IMSI, sealed); err != nil {
+		t.Fatal(err)
+	}
+	model1, err := cl1.FetchModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl1.Close()
+	if err := srv1.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := NewServer(cfg)
+	if err := srv2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv2.Shutdown() }()
+	if !bytes.Equal(srv2.Model(), model1) {
+		t.Fatal("restored model differs from pre-shutdown model")
+	}
+
+	// The restarted server keeps learning. A fresh device uploads; note the
+	// restarted server has no envelope history, so a fresh envelope works.
+	cl2 := NewClient(ClientConfig{Addr: srv2.Addr().String(), Conns: 1})
+	defer cl2.Close()
+	dev2 := NewSimDevice(DefaultMasterKey, "001010000000011")
+	sealed2, _ := dev2.SealRecords(core.MarshalRecords(deviceRecords(6)))
+	if err := cl2.UploadRecords(dev2.IMSI, sealed2); err != nil {
+		t.Fatal(err)
+	}
+	model2, err := cl2.FetchModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(model2, model1) {
+		t.Fatal("post-restart upload did not change the model")
+	}
+}
+
+// TestFleetRejectsUnknownFrame checks an unexpected frame type gets a TErr
+// without killing the server.
+func TestFleetRejectsUnknownFrame(t *testing.T) {
+	_, cl := startServer(t, ServerConfig{Shards: 1})
+	if _, err := cl.Do("bogus", Frame{Type: TAck}); err == nil {
+		t.Fatal("server answered a response-type frame")
+	}
+	if _, err := cl.FetchStats(); err != nil {
+		t.Fatalf("server unusable after protocol error: %v", err)
+	}
+}

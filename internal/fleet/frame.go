@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/core"
+)
+
+// The fleet wire protocol is length-prefixed binary frames over TCP:
+//
+//	MAGIC(2)=0x5E 0xED | VER(1)=1 | TYPE(1) | LEN(4, big-endian) | PAYLOAD
+//
+// Every request frame receives exactly one response frame on the same
+// connection, so a connection carries any number of round trips in
+// sequence and pools cleanly. LEN covers the payload only and is bounded
+// by the decoder's max-frame limit — an oversized, truncated, or
+// malformed frame is an error, never a panic (the 5Greplay property the
+// fuzz tests enforce).
+
+// FrameType identifies a fleet frame.
+type FrameType uint8
+
+const (
+	// TUpload carries a device's sealed learning-record blob:
+	// imsiLen(1) | imsi | sealed.
+	TUpload FrameType = 0x01
+	// TReport carries a sealed report.FailureReport: imsiLen(1) | imsi | sealed.
+	TReport FrameType = 0x02
+	// TQuery asks the model for a suggestion (the model-push leg):
+	// imsiLen(1) | imsi | plane(1) | code(1).
+	TQuery FrameType = 0x03
+	// TModelPull requests the canonical serialized aggregate model (admin).
+	TModelPull FrameType = 0x04
+	// TStatsPull requests server counters as JSON (admin).
+	TStatsPull FrameType = 0x05
+
+	// TAck acknowledges an upload or report: the payload is folded.
+	TAck FrameType = 0x81
+	// TRetryAfter is the backpressure response, mirroring the paper's
+	// congestion diagnosis: wait millis(4, BE) before retrying.
+	TRetryAfter FrameType = 0x82
+	// TSuggest answers a TQuery: a sealed DiagMessage (downlink direction),
+	// or empty when the model abstains.
+	TSuggest FrameType = 0x83
+	// TModel answers a TModelPull with MarshalModel bytes.
+	TModel FrameType = 0x84
+	// TStats answers a TStatsPull with JSON counters.
+	TStats FrameType = 0x85
+	// TErr reports a request failure; the payload is the message.
+	TErr FrameType = 0xFF
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case TUpload:
+		return "upload"
+	case TReport:
+		return "report"
+	case TQuery:
+		return "query"
+	case TModelPull:
+		return "model-pull"
+	case TStatsPull:
+		return "stats-pull"
+	case TAck:
+		return "ack"
+	case TRetryAfter:
+		return "retry-after"
+	case TSuggest:
+		return "suggest"
+	case TModel:
+		return "model"
+	case TStats:
+		return "stats"
+	case TErr:
+		return "err"
+	default:
+		return fmt.Sprintf("FrameType(%#02x)", uint8(t))
+	}
+}
+
+const (
+	frameMagic0 = 0x5E
+	frameMagic1 = 0xED
+	frameVer    = 1
+	headerLen   = 8
+
+	// DefaultMaxFrame bounds a frame payload. Record blobs are 5 bytes per
+	// (cause, action) row and reports fit in well under 1 KiB sealed, so
+	// 256 KiB leaves generous headroom for model pulls on big fleets.
+	DefaultMaxFrame = 256 << 10
+
+	// MaxIMSILen bounds the IMSI field of request payloads (15 digits per
+	// E.212; allow headroom for test identities).
+	MaxIMSILen = 32
+)
+
+// Frame is one decoded wire frame.
+type Frame struct {
+	Type    FrameType
+	Payload []byte
+}
+
+// ErrFrameTooLarge is returned when a frame header announces a payload
+// beyond the decoder's limit.
+var ErrFrameTooLarge = errors.New("fleet: frame exceeds max size")
+
+// AppendFrame appends the encoded frame to dst and returns it.
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = append(dst, frameMagic0, frameMagic1, frameVer, byte(f.Type))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(f.Payload)))
+	return append(dst, f.Payload...)
+}
+
+// WriteFrame encodes and writes one frame.
+func WriteFrame(w *bufio.Writer, f Frame) error {
+	var hdr [headerLen]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = frameMagic0, frameMagic1, frameVer, byte(f.Type)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(f.Payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ReadFrame reads and validates one frame, rejecting bad magic, unknown
+// versions, and payloads larger than maxFrame. It returns io.EOF only on
+// a clean boundary (no bytes read); a frame truncated mid-way is
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, maxFrame uint32) (Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return Frame{}, err // io.EOF here is a clean close
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
+		return Frame{}, fmt.Errorf("fleet: bad frame magic %#02x%02x", hdr[0], hdr[1])
+	}
+	if hdr[2] != frameVer {
+		return Frame{}, fmt.Errorf("fleet: unsupported frame version %d", hdr[2])
+	}
+	n := binary.BigEndian.Uint32(hdr[4:])
+	if n > maxFrame {
+		return Frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	f := Frame{Type: FrameType(hdr[3])}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return Frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// --- request payload codecs ----------------------------------------------
+
+// AppendSealedPayload encodes imsiLen(1) | imsi | sealed (TUpload/TReport).
+func AppendSealedPayload(dst []byte, imsi string, sealed []byte) []byte {
+	dst = append(dst, byte(len(imsi)))
+	dst = append(dst, imsi...)
+	return append(dst, sealed...)
+}
+
+// ParseSealedPayload decodes a TUpload/TReport payload.
+func ParseSealedPayload(p []byte) (imsi string, sealed []byte, err error) {
+	if len(p) < 1 {
+		return "", nil, errors.New("fleet: empty sealed payload")
+	}
+	n := int(p[0])
+	if n == 0 || n > MaxIMSILen {
+		return "", nil, fmt.Errorf("fleet: bad IMSI length %d", n)
+	}
+	if len(p) < 1+n {
+		return "", nil, fmt.Errorf("fleet: sealed payload truncated: IMSI needs %d bytes, have %d", n, len(p)-1)
+	}
+	return string(p[1 : 1+n]), p[1+n:], nil
+}
+
+// AppendQueryPayload encodes imsiLen(1) | imsi | plane(1) | code(1).
+func AppendQueryPayload(dst []byte, imsi string, c cause.Cause) []byte {
+	dst = append(dst, byte(len(imsi)))
+	dst = append(dst, imsi...)
+	return append(dst, byte(c.Plane), byte(c.Code))
+}
+
+// ParseQueryPayload decodes a TQuery payload.
+func ParseQueryPayload(p []byte) (imsi string, c cause.Cause, err error) {
+	if len(p) < 1 {
+		return "", c, errors.New("fleet: empty query payload")
+	}
+	n := int(p[0])
+	if n == 0 || n > MaxIMSILen {
+		return "", c, fmt.Errorf("fleet: bad IMSI length %d", n)
+	}
+	if len(p) != 1+n+2 {
+		return "", c, fmt.Errorf("fleet: query payload length %d, want %d", len(p), 1+n+2)
+	}
+	return string(p[1 : 1+n]), cause.Cause{Plane: cause.Plane(p[1+n]), Code: cause.Code(p[2+n])}, nil
+}
+
+// RetryAfterPayload encodes the backpressure wait hint.
+func RetryAfterPayload(millis uint32) []byte {
+	return binary.BigEndian.AppendUint32(nil, millis)
+}
+
+// ParseRetryAfter decodes a TRetryAfter payload.
+func ParseRetryAfter(p []byte) (uint32, error) {
+	if len(p) != 4 {
+		return 0, fmt.Errorf("fleet: retry-after payload length %d, want 4", len(p))
+	}
+	return binary.BigEndian.Uint32(p), nil
+}
+
+// SuggestPayload converts a learner decision into the TSuggest plaintext:
+// a core.DiagMessage of kind DiagSuggestAction, the same assistance shape
+// the in-process AUTN channel delivers.
+func SuggestPayload(c cause.Cause, a core.ActionID) []byte {
+	return core.DiagMessage{
+		Kind: core.DiagSuggestAction, Plane: c.Plane, Code: c.Code, Action: a,
+	}.Marshal()
+}

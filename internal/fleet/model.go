@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/core"
+)
+
+// The aggregate model serializes as 7-byte rows:
+//
+//	plane(1) | code(1) | action(1) | count(4, big-endian)
+//
+// sorted by (plane, code, action). The encoding is canonical — equal
+// models produce equal bytes regardless of shard count, fold order, or
+// retry interleaving — so "the networked aggregate equals the in-process
+// sequential baseline" is a byte comparison. The same bytes are the
+// snapshot file body, making snapshot/restore exact.
+
+const modelRowLen = 7
+
+// MarshalModel canonically encodes an aggregate model.
+func MarshalModel(m map[cause.Cause]map[core.ActionID]int) []byte {
+	type row struct {
+		c cause.Cause
+		a core.ActionID
+		n int
+	}
+	rows := make([]row, 0, len(m)*2)
+	for c, acts := range m {
+		for a, n := range acts {
+			if n <= 0 {
+				continue
+			}
+			rows = append(rows, row{c, a, n})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].c.Plane != rows[j].c.Plane {
+			return rows[i].c.Plane < rows[j].c.Plane
+		}
+		if rows[i].c.Code != rows[j].c.Code {
+			return rows[i].c.Code < rows[j].c.Code
+		}
+		return rows[i].a < rows[j].a
+	})
+	out := make([]byte, 0, len(rows)*modelRowLen)
+	for _, r := range rows {
+		n := r.n
+		if n > 0xFFFFFFFF || n < 0 {
+			n = 0xFFFFFFFF
+		}
+		out = append(out, byte(r.c.Plane), byte(r.c.Code), byte(r.a))
+		out = binary.BigEndian.AppendUint32(out, uint32(n))
+	}
+	return out
+}
+
+// UnmarshalModel decodes a serialized model back into map form.
+func UnmarshalModel(data []byte) (map[cause.Cause]map[core.ActionID]int, error) {
+	if len(data)%modelRowLen != 0 {
+		return nil, fmt.Errorf("fleet: model length %d not a multiple of %d", len(data), modelRowLen)
+	}
+	out := make(map[cause.Cause]map[core.ActionID]int)
+	for i := 0; i < len(data); i += modelRowLen {
+		c := cause.Cause{Plane: cause.Plane(data[i]), Code: cause.Code(data[i+1])}
+		a := core.ActionID(data[i+2])
+		n := int(binary.BigEndian.Uint32(data[i+3 : i+7]))
+		if out[c] == nil {
+			out[c] = make(map[core.ActionID]int)
+		}
+		out[c][a] += n
+	}
+	return out, nil
+}
+
+// MergeModels folds src into dst (commutative addition, Algorithm 1
+// lines 8–10), returning dst.
+func MergeModels(dst, src map[cause.Cause]map[core.ActionID]int) map[cause.Cause]map[core.ActionID]int {
+	if dst == nil {
+		dst = make(map[cause.Cause]map[core.ActionID]int, len(src))
+	}
+	for c, acts := range src {
+		if dst[c] == nil {
+			dst[c] = make(map[core.ActionID]int, len(acts))
+		}
+		for a, n := range acts {
+			dst[c][a] += n
+		}
+	}
+	return dst
+}

@@ -1,0 +1,493 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/core"
+	"github.com/seed5g/seed/internal/crypto5g"
+	"github.com/seed5g/seed/internal/report"
+)
+
+// ServerConfig parameterizes the aggregation server.
+type ServerConfig struct {
+	// Addr is the TCP listen address (":0" picks a free port).
+	Addr string
+	// Shards is the number of aggregation workers. A device's envelope
+	// state lives on its FNV-hash home shard, so all of one device's
+	// sealed traffic is handled single-threaded (the crypto5g key states
+	// are not concurrency-safe) while distinct devices fold in parallel.
+	Shards int
+	// QueueDepth bounds each shard's job queue. A full queue answers
+	// TRetryAfter instead of accepting work it cannot keep up with —
+	// explicit backpressure, mirroring the paper's congestion diagnosis.
+	QueueDepth int
+	// MaxFrame bounds accepted frame payloads.
+	MaxFrame uint32
+	// ReadTimeout is the per-frame read deadline; an idle connection is
+	// closed when it expires. WriteTimeout bounds each response write.
+	ReadTimeout, WriteTimeout time.Duration
+	// RetryAfter is the wait hint returned on backpressure.
+	RetryAfter time.Duration
+	// SnapshotPath, when set, is the aggregate-model snapshot file:
+	// restored on Start, written on Shutdown, so restarts don't lose
+	// learning.
+	SnapshotPath string
+	// MasterKey derives per-subscriber envelope keys (SubscriberKey).
+	MasterKey [16]byte
+	// LearningRate is the per-shard Learner's logistic-gate rate.
+	LearningRate float64
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c *ServerConfig) withDefaults() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:7316"
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 25 * time.Millisecond
+	}
+	if c.MasterKey == ([16]byte{}) {
+		c.MasterKey = DefaultMasterKey
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// ServerStats is a snapshot of the server's counters.
+type ServerStats struct {
+	Conns         uint64 `json:"conns"`
+	Uploads       uint64 `json:"uploads"`
+	Duplicates    uint64 `json:"duplicates"`
+	RecordRows    uint64 `json:"record_rows"`
+	Reports       uint64 `json:"reports"`
+	Queries       uint64 `json:"queries"`
+	Suggestions   uint64 `json:"suggestions"`
+	Backpressured uint64 `json:"backpressured"`
+	Errors        uint64 `json:"errors"`
+	// Dropped counts accepted-then-lost jobs. The drain protocol processes
+	// every enqueued job before a worker exits, so anything other than 0
+	// is a bug (the CI smoke job asserts it).
+	Dropped uint64 `json:"dropped"`
+}
+
+// Server is the carrier fleet aggregation service.
+type Server struct {
+	cfg    ServerConfig
+	ln     net.Listener
+	shards []*shard
+
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	connWG  sync.WaitGroup
+	shardWG sync.WaitGroup
+
+	nConns, uploads, duplicates, recordRows atomic.Uint64
+	reports, queries, suggestions           atomic.Uint64
+	backpressured, nErrors, dropped         atomic.Uint64
+}
+
+type job struct {
+	typ    FrameType
+	imsi   string
+	sealed []byte
+	cause  cause.Cause
+	reply  chan Frame
+}
+
+// shard owns the envelope and learning state for its slice of the device
+// population. Only the shard's worker goroutine touches envs (the crypto
+// states are single-threaded); mu guards the learner, which the query
+// path reads across shards.
+type shard struct {
+	srv     *Server
+	queue   chan job
+	mu      sync.Mutex
+	learner *core.Learner
+	envs    map[string]*crypto5g.Envelope
+}
+
+// NewServer creates an unstarted server.
+func NewServer(cfg ServerConfig) *Server {
+	cfg.withDefaults()
+	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, &shard{
+			srv:     s,
+			queue:   make(chan job, cfg.QueueDepth),
+			learner: core.NewLearner(cfg.LearningRate, rand.New(rand.NewSource(int64(i)+1))),
+			envs:    make(map[string]*crypto5g.Envelope),
+		})
+	}
+	return s
+}
+
+// Start restores the snapshot (if any), binds the listener, and launches
+// the shard workers and accept loop.
+func (s *Server) Start() error {
+	if err := s.restoreSnapshot(); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	for _, sh := range s.shards {
+		s.shardWG.Add(1)
+		go sh.run()
+	}
+	go s.acceptLoop()
+	s.cfg.Logf("seedfleetd: listening on %s (%d shards, queue %d)",
+		ln.Addr(), s.cfg.Shards, s.cfg.QueueDepth)
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Conns:         s.nConns.Load(),
+		Uploads:       s.uploads.Load(),
+		Duplicates:    s.duplicates.Load(),
+		RecordRows:    s.recordRows.Load(),
+		Reports:       s.reports.Load(),
+		Queries:       s.queries.Load(),
+		Suggestions:   s.suggestions.Load(),
+		Backpressured: s.backpressured.Load(),
+		Errors:        s.nErrors.Load(),
+		Dropped:       s.dropped.Load(),
+	}
+}
+
+// Model returns the canonical serialization of the merged aggregate model.
+func (s *Server) Model() []byte {
+	var merged map[cause.Cause]map[core.ActionID]int
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		merged = MergeModels(merged, sh.learner.Export())
+		sh.mu.Unlock()
+	}
+	return MarshalModel(merged)
+}
+
+// Shutdown drains gracefully: stop accepting, let in-flight round trips
+// finish, process every queued job, snapshot the model, and return. After
+// Shutdown the aggregate equals exactly what was acknowledged.
+func (s *Server) Shutdown() error {
+	s.connMu.Lock()
+	s.draining = true
+	for c := range s.conns {
+		// Expire pending reads; handlers finish their current request and
+		// exit (a round trip in progress still completes and responds).
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+	_ = s.ln.Close()
+	s.connWG.Wait()
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+	s.shardWG.Wait()
+	err := s.writeSnapshot()
+	st := s.Stats()
+	s.cfg.Logf("seedfleetd: drain complete (uploads=%d duplicates=%d reports=%d queries=%d backpressured=%d errors=%d dropped=%d)",
+		st.Uploads, st.Duplicates, st.Reports, st.Queries, st.Backpressured, st.Errors, st.Dropped)
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed on Shutdown
+		}
+		s.connMu.Lock()
+		if s.draining {
+			s.connMu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.connWG.Add(1)
+		s.connMu.Unlock()
+		s.nConns.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		_ = conn.Close()
+		s.connWG.Done()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		f, err := ReadFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			return // clean close, idle timeout, drain, or protocol error
+		}
+		resp := s.dispatch(f)
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := WriteFrame(bw, resp); err != nil {
+			return
+		}
+		s.connMu.Lock()
+		stop := s.draining
+		s.connMu.Unlock()
+		if stop {
+			return
+		}
+	}
+}
+
+// dispatch routes one request frame and blocks until its response is
+// ready. Sealed-envelope work goes through the device's home shard; admin
+// frames are answered inline.
+func (s *Server) dispatch(f Frame) Frame {
+	switch f.Type {
+	case TUpload, TReport:
+		imsi, sealed, err := ParseSealedPayload(f.Payload)
+		if err != nil {
+			return s.errFrame(err)
+		}
+		return s.submit(job{typ: f.Type, imsi: imsi, sealed: sealed})
+	case TQuery:
+		imsi, c, err := ParseQueryPayload(f.Payload)
+		if err != nil {
+			return s.errFrame(err)
+		}
+		return s.submit(job{typ: TQuery, imsi: imsi, cause: c})
+	case TModelPull:
+		return Frame{Type: TModel, Payload: s.Model()}
+	case TStatsPull:
+		buf, err := json.Marshal(s.Stats())
+		if err != nil {
+			return s.errFrame(err)
+		}
+		return Frame{Type: TStats, Payload: buf}
+	default:
+		return s.errFrame(fmt.Errorf("fleet: unexpected request frame %v", f.Type))
+	}
+}
+
+// submit enqueues a job on the device's home shard, answering TRetryAfter
+// when the shard's bounded queue is full.
+func (s *Server) submit(j job) Frame {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(j.imsi))
+	sh := s.shards[h.Sum32()%uint32(len(s.shards))]
+	j.reply = make(chan Frame, 1)
+	select {
+	case sh.queue <- j:
+		return <-j.reply
+	default:
+		s.backpressured.Add(1)
+		return Frame{Type: TRetryAfter, Payload: RetryAfterPayload(uint32(s.cfg.RetryAfter / time.Millisecond))}
+	}
+}
+
+func (s *Server) errFrame(err error) Frame {
+	s.nErrors.Add(1)
+	return Frame{Type: TErr, Payload: []byte(err.Error())}
+}
+
+// --- shard worker --------------------------------------------------------
+
+func (sh *shard) run() {
+	defer sh.srv.shardWG.Done()
+	for j := range sh.queue {
+		j.reply <- sh.handle(j)
+	}
+}
+
+// env returns (creating on first use) the subscriber's envelope. Only the
+// shard worker calls it, so envelope crypto stays single-threaded.
+func (sh *shard) env(imsi string) *crypto5g.Envelope {
+	e, ok := sh.envs[imsi]
+	if !ok {
+		e = NewSubscriberEnvelope(sh.srv.cfg.MasterKey, imsi)
+		sh.envs[imsi] = e
+	}
+	return e
+}
+
+func (sh *shard) handle(j job) Frame {
+	switch j.typ {
+	case TUpload:
+		return sh.handleUpload(j)
+	case TReport:
+		return sh.handleReport(j)
+	case TQuery:
+		return sh.handleQuery(j)
+	default:
+		return sh.srv.errFrame(fmt.Errorf("fleet: shard got frame %v", j.typ))
+	}
+}
+
+// handleUpload opens a sealed record blob and folds it into the learner.
+// Delivery is at-least-once (the client retries lost responses), and the
+// envelope counter makes the fold exactly-once: a replayed counter means
+// this blob was already folded, so the duplicate is acknowledged without
+// folding again.
+func (sh *shard) handleUpload(j job) Frame {
+	blob, err := sh.env(j.imsi).Open(crypto5g.Uplink, j.sealed)
+	if err != nil {
+		if errors.Is(err, crypto5g.ErrReplay) {
+			sh.srv.duplicates.Add(1)
+			return Frame{Type: TAck}
+		}
+		return sh.srv.errFrame(fmt.Errorf("fleet: upload from %s: %w", j.imsi, err))
+	}
+	recs, err := core.UnmarshalRecords(blob)
+	if err != nil {
+		return sh.srv.errFrame(fmt.Errorf("fleet: upload from %s: %w", j.imsi, err))
+	}
+	rows := 0
+	for _, acts := range recs {
+		rows += len(acts)
+	}
+	sh.mu.Lock()
+	sh.learner.Crowdsource(recs)
+	sh.mu.Unlock()
+	sh.srv.uploads.Add(1)
+	sh.srv.recordRows.Add(uint64(rows))
+	return Frame{Type: TAck}
+}
+
+// handleReport opens and validates a sealed failure report. The in-process
+// infrastructure plugin owns policy repair; the fleet service validates
+// the wire leg and counts what arrived (replays are acknowledged idempotently
+// like uploads).
+func (sh *shard) handleReport(j job) Frame {
+	raw, err := sh.env(j.imsi).Open(crypto5g.Uplink, j.sealed)
+	if err != nil {
+		if errors.Is(err, crypto5g.ErrReplay) {
+			sh.srv.duplicates.Add(1)
+			return Frame{Type: TAck}
+		}
+		return sh.srv.errFrame(fmt.Errorf("fleet: report from %s: %w", j.imsi, err))
+	}
+	if _, err := report.Unmarshal(raw); err != nil {
+		return sh.srv.errFrame(fmt.Errorf("fleet: report from %s: %w", j.imsi, err))
+	}
+	sh.srv.reports.Add(1)
+	return Frame{Type: TAck}
+}
+
+// handleQuery answers the model-push leg: merge the cause's evidence
+// across all shards, pick the argmax action (ties break toward the
+// cheaper reset, as in Learner.Best), and seal the suggestion downlink
+// with the asking device's envelope. No evidence → empty TSuggest (the
+// device keeps trialing, Algorithm 1's abstain arm).
+func (sh *shard) handleQuery(j job) Frame {
+	sh.srv.queries.Add(1)
+	merged := make(map[core.ActionID]int)
+	for _, other := range sh.srv.shards {
+		other.mu.Lock()
+		for a, n := range other.learner.Actions(j.cause) {
+			merged[a] += n
+		}
+		other.mu.Unlock()
+	}
+	best, bestN := core.ActionID(0), 0
+	for _, a := range core.LearningOrder {
+		if n := merged[a]; n > bestN {
+			best, bestN = a, n
+		}
+	}
+	if bestN == 0 {
+		return Frame{Type: TSuggest}
+	}
+	sealed, err := sh.env(j.imsi).Seal(crypto5g.Downlink, SuggestPayload(j.cause, best))
+	if err != nil {
+		return sh.srv.errFrame(err)
+	}
+	sh.srv.suggestions.Add(1)
+	return Frame{Type: TSuggest, Payload: sealed}
+}
+
+// --- snapshot ------------------------------------------------------------
+
+var snapshotMagic = []byte("SEEDFLT1")
+
+// writeSnapshot persists the merged model atomically (tmp + rename).
+func (s *Server) writeSnapshot() error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	body := append(append([]byte(nil), snapshotMagic...), s.Model()...)
+	tmp := s.cfg.SnapshotPath + ".tmp"
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.cfg.SnapshotPath)
+}
+
+// restoreSnapshot loads a previously written model into shard 0. Placement
+// is irrelevant: queries and Model() merge across shards.
+func (s *Server) restoreSnapshot() error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	body, err := os.ReadFile(s.cfg.SnapshotPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(body) < len(snapshotMagic) || string(body[:len(snapshotMagic)]) != string(snapshotMagic) {
+		return fmt.Errorf("fleet: %s is not a fleet snapshot", s.cfg.SnapshotPath)
+	}
+	m, err := UnmarshalModel(body[len(snapshotMagic):])
+	if err != nil {
+		return fmt.Errorf("fleet: snapshot %s: %w", s.cfg.SnapshotPath, err)
+	}
+	sh := s.shards[0]
+	sh.mu.Lock()
+	sh.learner.Crowdsource(m)
+	sh.mu.Unlock()
+	s.cfg.Logf("seedfleetd: restored snapshot %s (%d causes)", s.cfg.SnapshotPath, len(m))
+	return nil
+}

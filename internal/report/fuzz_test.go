@@ -1,0 +1,29 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the report decoder. It must never
+// panic (reports arrive over the air from untrusted handsets — the
+// 5Greplay fuzzing posture), and every accepted input must round-trip
+// byte-for-byte through Marshal.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 3, 0, 0, 0, 0, 0, 0})
+	f.Add(FailureReport{Type: FailDNS, Direction: DirBoth, Domain: "a.example"}.Marshal())
+	f.Add(FailureReport{Type: FailTCP, Direction: DirUplink, Addr: [4]byte{10, 0, 0, 1}, Port: 443}.Marshal())
+	f.Add(FailureReport{Type: FailUDP, Direction: DirDownlink, Addr: [4]byte{8, 8, 8, 8}, Port: 53}.Marshal())
+	f.Add([]byte{0xFF, 0xFF, 1, 2, 3, 4, 5, 6, 7})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if got := r.Marshal(); !bytes.Equal(got, data) {
+			t.Fatalf("round trip diverged: in=%x out=%x", data, got)
+		}
+	})
+}

@@ -295,6 +295,12 @@ func (tb *Testbed) NewDevice(mode Mode, opts ...DeviceOption) *Device {
 	if err != nil {
 		panic(fmt.Sprintf("seed: building device %s: %v", imsi, err))
 	}
+	// Default OTA record destination: the in-process infrastructure
+	// plugin. A fleet deployment replaces this sink with a networked
+	// carrier-service client (internal/fleet) — same upload code path.
+	inner.CApp.SetRecordSink(func(blob []byte) {
+		_ = tb.plugin.ReceiveRecordUpload(blob)
+	})
 	if tb.cells != nil {
 		// Re-home the radio through the cell manager: uplink goes to the
 		// serving gNB of the moment, and handovers re-attach the
