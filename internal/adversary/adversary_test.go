@@ -1,0 +1,136 @@
+package adversary
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 7, 4)
+	b := Generate(42, 7, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same (root, idx) generated different cases:\n%+v\n%+v", a, b)
+	}
+	c := Generate(42, 8, 4)
+	if reflect.DeepEqual(a.Mutations, c.Mutations) && a.Seed == c.Seed {
+		t.Fatal("neighbouring cases identical")
+	}
+	if len(a.Mutations) == 0 || len(a.Mutations) > 4 {
+		t.Fatalf("mutation count %d outside [1,4]", len(a.Mutations))
+	}
+}
+
+func TestExecuteTapsAllPools(t *testing.T) {
+	// A clean SEED-R case with a desync stimulus exercises registration,
+	// authentication, session and diagnosis traffic: every live tap pool
+	// must be populated.
+	r := Execute(Case{Seed: 11, Mode: 3, Stimulus: StimDesync})
+	if len(r.Violations) != 0 {
+		t.Fatalf("clean case violated invariants: %+v", r.Violations)
+	}
+	if r.PoolNASDown == 0 || r.PoolNASUp == 0 || r.PoolAPDU == 0 {
+		t.Fatalf("tap pools empty: down=%d up=%d apdu=%d", r.PoolNASDown, r.PoolNASUp, r.PoolAPDU)
+	}
+}
+
+func TestCampaignParallelDeterminism(t *testing.T) {
+	cfg := Config{RootSeed: 1, Cases: 12, MaxMutations: 3}
+	cfg.Workers = 1
+	seqResults, seqSummary := Run(cfg)
+	cfg.Workers = 4
+	parResults, parSummary := Run(cfg)
+	if !reflect.DeepEqual(seqResults, parResults) {
+		t.Fatal("per-case results differ between worker counts")
+	}
+	if !bytes.Equal(seqSummary.JSON(), parSummary.JSON()) {
+		t.Fatalf("summaries not byte-identical:\n%s\n---\n%s", seqSummary.JSON(), parSummary.JSON())
+	}
+}
+
+func TestCampaignFixedSeedClean(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	_, s := Run(Config{RootSeed: 20260806, Cases: n, MaxMutations: 4})
+	if s.Violations != 0 {
+		t.Fatalf("fixed-seed campaign found %d violations in cases %v:\n%s",
+			s.Violations, s.ViolatingCases, s.JSON())
+	}
+	if s.Applied == 0 {
+		t.Fatal("campaign applied no mutations")
+	}
+}
+
+// TestCorpusReplay re-executes every checked-in regression case. Each one
+// is a minimized, once-violating input whose fix landed; all must now run
+// violation-free.
+func TestCorpusReplay(t *testing.T) {
+	cases, names, err := LoadCorpus(filepath.Join("testdata", "corpus"))
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	if len(cases) == 0 {
+		t.Skip("no corpus entries")
+	}
+	for i, c := range cases {
+		c := c
+		t.Run(names[i], func(t *testing.T) {
+			r := Execute(c)
+			if len(r.Violations) != 0 {
+				t.Fatalf("regression: %+v", r.Violations)
+			}
+		})
+	}
+}
+
+func TestMinimizeStripsToCulprit(t *testing.T) {
+	// Synthetic executor: the case violates iff it still contains the
+	// Param==99 mutation AND the stimulus is set (so minimization must
+	// keep both and drop the four noise mutations).
+	exec := func(c Case) Result {
+		var r Result
+		if c.Stimulus == StimNone {
+			return r
+		}
+		for _, m := range c.Mutations {
+			if m.Param == 99 {
+				r.Violations = append(r.Violations, Violation{"synthetic", "hit"})
+			}
+		}
+		return r
+	}
+	c := Case{Stimulus: StimDesync, Mutations: []Mutation{
+		{Param: 1}, {Param: 2}, {Param: 99}, {Param: 3}, {Param: 4},
+	}}
+	min, res := minimizeWith(c, exec)
+	if len(res.Violations) == 0 {
+		t.Fatal("minimized case no longer violates")
+	}
+	if len(min.Mutations) != 1 || min.Mutations[0].Param != 99 {
+		t.Fatalf("minimizer kept %+v, want only the Param=99 mutation", min.Mutations)
+	}
+	if min.Stimulus != StimDesync {
+		t.Fatal("minimizer dropped a load-bearing stimulus")
+	}
+	// Clean input: returned unchanged.
+	clean := Case{Mutations: []Mutation{{Param: 1}}}
+	got, res2 := minimizeWith(clean, exec)
+	if len(res2.Violations) != 0 || !reflect.DeepEqual(got, clean) {
+		t.Fatal("clean case was altered by minimization")
+	}
+}
+
+func TestRecordTracesNonEmpty(t *testing.T) {
+	nasFrames, apdus := RecordTraces(3)
+	if len(nasFrames) < 5 || len(apdus) < 3 {
+		t.Fatalf("recorded corpus too small: nas=%d apdu=%d", len(nasFrames), len(apdus))
+	}
+	// Determinism: same seed, same traces.
+	nas2, apdu2 := RecordTraces(3)
+	if !reflect.DeepEqual(nasFrames, nas2) || !reflect.DeepEqual(apdus, apdu2) {
+		t.Fatal("RecordTraces not deterministic")
+	}
+}

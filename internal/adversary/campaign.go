@@ -1,0 +1,119 @@
+package adversary
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/seed5g/seed/internal/runner"
+)
+
+// Config describes a campaign: Cases cases generated from RootSeed and
+// executed on Workers parallel workers (<= 0 selects GOMAXPROCS). The
+// worker count affects wall-clock only — summaries and per-case results
+// are bit-identical at any parallelism.
+type Config struct {
+	RootSeed     int64
+	Cases        int
+	Workers      int
+	MaxMutations int
+}
+
+// InvariantCount is one (invariant, violation count) row of a summary,
+// sorted by invariant name for deterministic output.
+type InvariantCount struct {
+	Invariant string `json:"invariant"`
+	Count     int    `json:"count"`
+}
+
+// Summary is the deterministic campaign rollup. It contains no maps, no
+// timestamps and no worker-dependent state, so its JSON form is the
+// byte-identity witness for the parallel-determinism guarantee.
+type Summary struct {
+	RootSeed       int64            `json:"root_seed"`
+	Cases          int              `json:"cases"`
+	MaxMutations   int              `json:"max_mutations"`
+	Applied        int              `json:"applied"`
+	Skipped        int              `json:"skipped"`
+	Violations     int              `json:"violations"`
+	ViolatingCases []int            `json:"violating_cases,omitempty"`
+	ByInvariant    []InvariantCount `json:"by_invariant,omitempty"`
+	// Pool totals witness tap coverage across the campaign.
+	PoolNASDown int `json:"pool_nas_down"`
+	PoolNASUp   int `json:"pool_nas_up"`
+	PoolAPDU    int `json:"pool_apdu"`
+	PoolFleet   int `json:"pool_fleet"`
+}
+
+// JSON renders the summary as indented JSON (deterministic byte-for-byte).
+func (s Summary) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("adversary: summary marshal: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// Run executes the campaign: case i is Generate(RootSeed, i, MaxMutations)
+// executed on its own private testbed. Results come back indexed, and the
+// summary is folded strictly in index order.
+func Run(cfg Config) ([]Result, Summary) {
+	if cfg.Cases < 0 {
+		cfg.Cases = 0
+	}
+	if cfg.MaxMutations < 1 {
+		cfg.MaxMutations = 1
+	}
+	p := runner.New(cfg.Workers)
+	results := runner.Map(p, cfg.Cases, func(i int) Result {
+		r := Execute(Generate(cfg.RootSeed, i, cfg.MaxMutations))
+		r.Index = i
+		return r
+	})
+	return results, Summarize(cfg, results)
+}
+
+// Summarize folds per-case results (in slice order) into a Summary.
+func Summarize(cfg Config, results []Result) Summary {
+	s := Summary{RootSeed: cfg.RootSeed, Cases: len(results), MaxMutations: cfg.MaxMutations}
+	counts := map[string]int{}
+	for _, r := range results {
+		s.Applied += r.Applied
+		s.Skipped += r.Skipped
+		s.PoolNASDown += r.PoolNASDown
+		s.PoolNASUp += r.PoolNASUp
+		s.PoolAPDU += r.PoolAPDU
+		s.PoolFleet += r.PoolFleet
+		if len(r.Violations) > 0 {
+			s.ViolatingCases = append(s.ViolatingCases, r.Index)
+		}
+		for _, v := range r.Violations {
+			s.Violations++
+			counts[v.Invariant]++
+		}
+	}
+	// Deterministic rollup: rows in the fixed invariant order, skipping
+	// empty ones (never map-iteration order).
+	for _, name := range []string{
+		"no-panic", "modem-state", "timers-drain", "tier-privilege",
+		"envelope-tamper", "envelope-replay", "fleet-integrity",
+	} {
+		if n := counts[name]; n > 0 {
+			s.ByInvariant = append(s.ByInvariant, InvariantCount{name, n})
+			delete(counts, name)
+		}
+	}
+	if len(counts) > 0 {
+		// An invariant name outside the known set is itself a bug; make it
+		// impossible to miss without depending on map order.
+		s.ByInvariant = append(s.ByInvariant, InvariantCount{"unknown", sumValues(counts)})
+	}
+	return s
+}
+
+func sumValues(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

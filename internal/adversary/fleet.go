@@ -1,0 +1,139 @@
+package adversary
+
+import (
+	"bytes"
+	"io"
+
+	"github.com/seed5g/seed"
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/core"
+	"github.com/seed5g/seed/internal/crypto5g"
+	"github.com/seed5g/seed/internal/fleet"
+)
+
+// fleetSelftestPlaintext seeds the upload pool when a case produced no
+// live record blobs (e.g. a legacy device never uploads).
+var fleetSelftestPlaintext = []byte("adversary-fleet-selftest")
+
+// checkFleet runs every fleet-channel mutation through the offline decode
+// pipeline: synthesize a legitimate wire frame around a recorded sealed
+// blob, mutate the bytes, and push them through ReadFrame + payload parse
+// + envelope Open. The pipeline must never panic (caught by Execute's
+// recover), and a mutated frame must never open to a plaintext the
+// legitimate traffic never carried.
+func checkFleet(tb *seed.Testbed, dev *seed.Device, rec *recorder, c Case, res *Result) {
+	muts := make([]Mutation, 0, len(c.Mutations))
+	for _, m := range c.Mutations {
+		if m.Channel == ChanFleet {
+			muts = append(muts, m)
+		}
+	}
+	if len(muts) == 0 {
+		return
+	}
+	sub, ok := tb.Network().UDM.Subscriber(dev.IMSI())
+	if !ok {
+		return
+	}
+	imsi := dev.IMSI()
+
+	// Known-good plaintexts: every recorded blob the key material opens,
+	// plus the self-test payload.
+	var knownPts [][]byte
+	sealedPool := make([][]byte, 0, len(rec.fleet)+1)
+	for _, blob := range rec.fleet {
+		sealedPool = append(sealedPool, blob)
+		if pt, err := core.NewChannelEnvelope(sub.K).Open(crypto5g.Uplink, blob); err == nil {
+			knownPts = append(knownPts, pt)
+		}
+	}
+	selftest, err := core.NewChannelEnvelope(sub.K).Seal(crypto5g.Uplink, fleetSelftestPlaintext)
+	if err == nil {
+		sealedPool = append(sealedPool, selftest)
+		knownPts = append(knownPts, fleetSelftestPlaintext)
+	}
+
+	for _, m := range muts {
+		res.Applied++
+		frame := synthesizeFrame(imsi, sealedPool, m.Pick)
+		var wire []byte
+		switch m.Op {
+		case OpBitFlip, OpLenLie, OpTruncate:
+			wire = Mutate(frame, m.Op, m.Param)
+		case OpDuplicate:
+			wire = append(append([]byte(nil), frame...), frame...)
+		default: // replay / out-of-state have no extra meaning offline
+			wire = frame
+		}
+		decodeFleetWire(wire, bytes.Equal(wire, frame) || m.Op == OpDuplicate, sub.K, knownPts, res)
+	}
+}
+
+// synthesizeFrame builds one legitimate fleet wire frame of a pick-selected
+// shape: a sealed record upload, a cause query, or a sealed failure report.
+func synthesizeFrame(imsi string, sealedPool [][]byte, pick uint32) []byte {
+	var f fleet.Frame
+	switch pick % 3 {
+	case 0, 2:
+		f.Type = fleet.TUpload
+		if pick%3 == 2 {
+			f.Type = fleet.TReport
+		}
+		var sealed []byte
+		if len(sealedPool) > 0 {
+			sealed = sealedPool[int(pick)%len(sealedPool)]
+		}
+		f.Payload = fleet.AppendSealedPayload(nil, imsi, sealed)
+	case 1:
+		f.Payload = fleet.AppendQueryPayload(nil, imsi, cause.MM(cause.MMPLMNNotAllowed))
+		f.Type = fleet.TQuery
+	}
+	return fleet.AppendFrame(nil, f)
+}
+
+// decodeFleetWire pushes mutated wire bytes through the server-side decode
+// path. Rejection at any layer is the correct outcome for a mutated frame;
+// acceptance is only legal when the recovered plaintext is one the
+// legitimate traffic actually carried.
+func decodeFleetWire(wire []byte, genuine bool, k [16]byte, knownPts [][]byte, res *Result) {
+	r := bytes.NewReader(wire)
+	for frames := 0; frames < 4; frames++ {
+		f, err := fleet.ReadFrame(r, fleet.DefaultMaxFrame)
+		if err != nil {
+			if genuine && err != io.EOF {
+				res.violate("fleet-integrity", "genuine frame rejected: %v", err)
+			}
+			return
+		}
+		switch f.Type {
+		case fleet.TUpload, fleet.TReport:
+			_, sealed, err := fleet.ParseSealedPayload(f.Payload)
+			if err != nil {
+				if genuine {
+					res.violate("fleet-integrity", "genuine sealed payload rejected: %v", err)
+				}
+				continue
+			}
+			pt, err := core.NewChannelEnvelope(k).Open(crypto5g.Uplink, sealed)
+			if err != nil {
+				continue // mutated blob correctly refused
+			}
+			if !genuine && !containsBytes(knownPts, pt) {
+				res.violate("fleet-integrity", "mutated frame opened to novel plaintext (%d bytes)", len(pt))
+			}
+		case fleet.TQuery:
+			if _, _, err := fleet.ParseQueryPayload(f.Payload); err != nil && genuine {
+				res.violate("fleet-integrity", "genuine query payload rejected: %v", err)
+			}
+		}
+	}
+}
+
+func containsBytes(set [][]byte, b []byte) bool {
+	for _, s := range set {
+		if bytes.Equal(s, b) {
+			return true
+		}
+	}
+	return false
+}

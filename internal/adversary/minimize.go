@@ -1,0 +1,46 @@
+package adversary
+
+// Minimize shrinks a violating case by greedy mutation-stripping: drop
+// each mutation in turn and keep the drop whenever the case still
+// violates, repeating until a fixed point; then try clearing the stimulus
+// the same way. The result is the smallest case this ordering finds, with
+// its (deterministic) result attached. A non-violating input is returned
+// unchanged.
+func Minimize(c Case) (Case, Result) {
+	return minimizeWith(c, Execute)
+}
+
+// minimizeWith is Minimize with the executor injected for tests.
+func minimizeWith(c Case, exec func(Case) Result) (Case, Result) {
+	best := exec(c)
+	if len(best.Violations) == 0 {
+		return c, best
+	}
+	cur := cloneCase(c)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur.Mutations); i++ {
+			trial := cloneCase(cur)
+			trial.Mutations = append(trial.Mutations[:i], trial.Mutations[i+1:]...)
+			if r := exec(trial); len(r.Violations) > 0 {
+				cur, best = trial, r
+				changed = true
+				i--
+			}
+		}
+	}
+	if cur.Stimulus != StimNone {
+		trial := cloneCase(cur)
+		trial.Stimulus = StimNone
+		if r := exec(trial); len(r.Violations) > 0 {
+			cur, best = trial, r
+		}
+	}
+	return cur, best
+}
+
+func cloneCase(c Case) Case {
+	out := c
+	out.Mutations = append([]Mutation(nil), c.Mutations...)
+	return out
+}

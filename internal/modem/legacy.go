@@ -33,6 +33,12 @@ func (m *Modem) legacyRegistrationFailure(code uint8) {
 		return
 	}
 	m.setState(StateDeregistered)
+	// Leaving REGISTERED aborts any in-flight service-request resume: the
+	// queued uplink would otherwise reference sessions of a dead
+	// registration (TS 24.501 §5.6.1.7 aborts the procedure on lower-layer
+	// failure).
+	m.resuming = false
+	m.pendingPkts = nil
 	m.regAttempts++
 
 	if m.regAttempts > m.cfg.MaxRegAttempts {

@@ -779,6 +779,10 @@ func (m *Modem) localDeregister() {
 		m.dropSession(id)
 	}
 	m.cancelRegTimer()
+	// Deregistration aborts a pending service-request resume along with
+	// the sessions its queued packets belong to.
+	m.resuming = false
+	m.pendingPkts = nil
 	if m.state == StateRegistered || m.state == StateRegistering {
 		m.setState(StateDeregistered)
 	}

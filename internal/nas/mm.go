@@ -104,16 +104,14 @@ func (m *RegistrationRequest) decodeBody(r *reader) {
 	r.optionals(func(tag byte, val []byte) {
 		switch tag {
 		case tagRequestedNSSAI:
-			rr := &reader{buf: val}
-			for rr.err == nil && rr.remaining() >= snssaiWireLen {
+			r.ieList(tag, val, func(rr *reader) {
 				m.RequestedNSSAI = append(m.RequestedNSSAI, decodeSNSSAI(rr))
-			}
+			})
 		case tagLastVisitedTAI:
-			rr := &reader{buf: val}
-			t := decodeTAI(rr)
-			if rr.err == nil {
+			r.ie(tag, val, func(rr *reader) {
+				t := decodeTAI(rr)
 				m.LastTAI = &t
-			}
+			})
 		case tagMMCapability:
 			m.Capability = append([]byte(nil), val...)
 		}
@@ -160,18 +158,15 @@ func (m *RegistrationAccept) decodeBody(r *reader) {
 	r.optionals(func(tag byte, val []byte) {
 		switch tag {
 		case tagTAIList:
-			rr := &reader{buf: val}
-			for rr.err == nil && rr.remaining() >= taiWireLen {
+			r.ieList(tag, val, func(rr *reader) {
 				m.TAIList = append(m.TAIList, decodeTAI(rr))
-			}
+			})
 		case tagAllowedNSSAI:
-			rr := &reader{buf: val}
-			for rr.err == nil && rr.remaining() >= snssaiWireLen {
+			r.ieList(tag, val, func(rr *reader) {
 				m.AllowedNSSAI = append(m.AllowedNSSAI, decodeSNSSAI(rr))
-			}
+			})
 		case tagT3512:
-			rr := &reader{buf: val}
-			m.T3512Seconds = rr.uint32()
+			r.ie(tag, val, func(rr *reader) { m.T3512Seconds = rr.uint32() })
 		}
 	})
 }
@@ -207,8 +202,7 @@ func (m *RegistrationReject) decodeBody(r *reader) {
 	m.Cause = cause.Code(r.byte())
 	r.optionals(func(tag byte, val []byte) {
 		if tag == tagT3502 {
-			rr := &reader{buf: val}
-			m.T3502Seconds = rr.uint32()
+			r.ie(tag, val, func(rr *reader) { m.T3502Seconds = rr.uint32() })
 		}
 	})
 }
@@ -271,8 +265,7 @@ func (m *ServiceReject) decodeBody(r *reader) {
 	m.Cause = cause.Code(r.byte())
 	r.optionals(func(tag byte, val []byte) {
 		if tag == tagT3346 {
-			rr := &reader{buf: val}
-			m.T3346Seconds = rr.uint32()
+			r.ie(tag, val, func(rr *reader) { m.T3346Seconds = rr.uint32() })
 		}
 	})
 }
@@ -314,21 +307,18 @@ func (m *ConfigurationUpdateCommand) decodeBody(r *reader) {
 	r.optionals(func(tag byte, val []byte) {
 		switch tag {
 		case tagTAIList:
-			rr := &reader{buf: val}
-			for rr.err == nil && rr.remaining() >= taiWireLen {
+			r.ieList(tag, val, func(rr *reader) {
 				m.TAIList = append(m.TAIList, decodeTAI(rr))
-			}
+			})
 		case tagAllowedNSSAI:
-			rr := &reader{buf: val}
-			for rr.err == nil && rr.remaining() >= snssaiWireLen {
+			r.ieList(tag, val, func(rr *reader) {
 				m.AllowedNSSAI = append(m.AllowedNSSAI, decodeSNSSAI(rr))
-			}
+			})
 		case tagGUTI:
-			rr := &reader{buf: val}
-			id := decodeMobileIdentity(rr)
-			if rr.err == nil {
+			r.ie(tag, val, func(rr *reader) {
+				id := decodeMobileIdentity(rr)
 				m.GUTI = &id
-			}
+			})
 		}
 	})
 }

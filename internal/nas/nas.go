@@ -132,6 +132,13 @@ var ErrTruncated = errors.New("nas: message truncated")
 // ErrUnknownMessage is wrapped when the message type is not recognized.
 var ErrUnknownMessage = errors.New("nas: unknown message type")
 
+// ErrMalformedIE is wrapped when an information element's value does not
+// decode cleanly: short sub-fields, trailing garbage inside the declared
+// length, or a list value that is not a whole number of elements. Decoders
+// reject such messages outright rather than silently truncating to the
+// parseable prefix (the 5Greplay fuzzing posture).
+var ErrMalformedIE = errors.New("nas: malformed information element")
+
 // Marshal serializes msg to its wire representation.
 func Marshal(msg Message) []byte {
 	// One right-sized allocation covers almost every NAS message on the
@@ -172,6 +179,9 @@ func Unmarshal(data []byte) (Message, error) {
 		}
 		r := &reader{buf: data[3:]}
 		msg.decodeBody(r)
+		if r.err == nil && r.remaining() != 0 {
+			r.err = fmt.Errorf("%w: %d trailing bytes after body", ErrMalformedIE, r.remaining())
+		}
 		if r.err != nil {
 			return nil, fmt.Errorf("nas: decoding %s: %w", Name(epd, mt), r.err)
 		}
@@ -188,6 +198,9 @@ func Unmarshal(data []byte) (Message, error) {
 		msg.setSessionHeader(data[1], data[2])
 		r := &reader{buf: data[4:]}
 		msg.decodeBody(r)
+		if r.err == nil && r.remaining() != 0 {
+			r.err = fmt.Errorf("%w: %d trailing bytes after body", ErrMalformedIE, r.remaining())
+		}
 		if r.err != nil {
 			return nil, fmt.Errorf("nas: decoding %s: %w", Name(epd, mt), r.err)
 		}

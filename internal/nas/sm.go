@@ -87,11 +87,10 @@ func (m *PDUSessionEstablishmentRequest) decodeBody(r *reader) {
 	m.DNN = string(r.lv())
 	r.optionals(func(tag byte, val []byte) {
 		if tag == tagSNSSAI {
-			rr := &reader{buf: val}
-			s := decodeSNSSAI(rr)
-			if rr.err == nil {
+			r.ie(tag, val, func(rr *reader) {
+				s := decodeSNSSAI(rr)
 				m.SNSSAI = &s
-			}
+			})
 		}
 	})
 }
@@ -140,17 +139,15 @@ func (m *PDUSessionEstablishmentAccept) decodeBody(r *reader) {
 	r.optionals(func(tag byte, val []byte) {
 		switch tag {
 		case tagDNSServers:
-			for i := 0; i+4 <= len(val); i += 4 {
+			r.ieList(tag, val, func(rr *reader) {
 				var a Addr
-				copy(a[:], val[i:i+4])
+				copy(a[:], rr.take(4))
 				m.DNSServers = append(m.DNSServers, a)
-			}
+			})
 		case tagQoS:
-			rr := &reader{buf: val}
-			m.QoS = decodeQoS(rr)
+			r.ie(tag, val, func(rr *reader) { m.QoS = decodeQoS(rr) })
 		case tagTFT:
-			rr := &reader{buf: val}
-			m.TFT = decodeTFT(rr)
+			r.ie(tag, val, func(rr *reader) { m.TFT = decodeTFT(rr) })
 		case tagSessionDNN:
 			m.DNN = string(val)
 		}
@@ -188,8 +185,7 @@ func (m *PDUSessionEstablishmentReject) decodeBody(r *reader) {
 	r.optionals(func(tag byte, val []byte) {
 		switch tag {
 		case tagBackoff:
-			rr := &reader{buf: val}
-			m.BackoffSeconds = rr.uint32()
+			r.ie(tag, val, func(rr *reader) { m.BackoffSeconds = rr.uint32() })
 		case tagSuggestedDNN:
 			m.SuggestedDNN = string(val)
 		}
@@ -224,17 +220,15 @@ func (m *PDUSessionModificationRequest) decodeBody(r *reader) {
 	r.optionals(func(tag byte, val []byte) {
 		switch tag {
 		case tagTFT:
-			rr := &reader{buf: val}
-			t := decodeTFT(rr)
-			if rr.err == nil {
+			r.ie(tag, val, func(rr *reader) {
+				t := decodeTFT(rr)
 				m.TFT = &t
-			}
+			})
 		case tagQoS:
-			rr := &reader{buf: val}
-			q := decodeQoS(rr)
-			if rr.err == nil {
+			r.ie(tag, val, func(rr *reader) {
+				q := decodeQoS(rr)
 				m.QoS = &q
-			}
+			})
 		}
 	})
 }
@@ -276,23 +270,21 @@ func (m *PDUSessionModificationCommand) decodeBody(r *reader) {
 	r.optionals(func(tag byte, val []byte) {
 		switch tag {
 		case tagTFT:
-			rr := &reader{buf: val}
-			t := decodeTFT(rr)
-			if rr.err == nil {
+			r.ie(tag, val, func(rr *reader) {
+				t := decodeTFT(rr)
 				m.TFT = &t
-			}
+			})
 		case tagQoS:
-			rr := &reader{buf: val}
-			q := decodeQoS(rr)
-			if rr.err == nil {
+			r.ie(tag, val, func(rr *reader) {
+				q := decodeQoS(rr)
 				m.QoS = &q
-			}
+			})
 		case tagDNSServers:
-			for i := 0; i+4 <= len(val); i += 4 {
+			r.ieList(tag, val, func(rr *reader) {
 				var a Addr
-				copy(a[:], val[i:i+4])
+				copy(a[:], rr.take(4))
 				m.DNSServers = append(m.DNSServers, a)
-			}
+			})
 		}
 	})
 }

@@ -1,0 +1,157 @@
+package nas
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/seed5g/seed/internal/cause"
+)
+
+// appendTLV appends a raw tag/length/value triple to an already-marshaled
+// message, forging a malformed optional IE after the valid body.
+func appendTLV(msg Message, tag byte, val []byte) []byte {
+	b := Marshal(msg)
+	b = append(b, tag, byte(len(val)))
+	return append(b, val...)
+}
+
+// TestStrictDecodeRejects locks in the hardened decoder behaviour: a
+// recognized IE whose value is short, over-long, or not a whole number of
+// list elements rejects the whole message instead of silently decoding a
+// truncated prefix or a zero value, and bytes past a fixed-layout body are
+// an error instead of being ignored.
+func TestStrictDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		data    []byte
+		wantErr error
+	}{
+		{
+			name:    "mm trailing bytes after fixed body",
+			data:    append(Marshal(&SecurityModeCommand{Algorithms: 0x11}), 0xDE, 0xAD),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name:    "sm trailing bytes after fixed body",
+			data:    append(Marshal(&PDUSessionReleaseCommand{Cause: cause.SMRegularDeactivation}), 0x00),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name: "registration accept TAI list partial element",
+			data: appendTLV(&RegistrationAccept{
+				GUTI: MobileIdentity{Type: IdentityGUTI, Value: "guti-1"},
+			}, tagTAIList, make([]byte, taiWireLen+1)),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name: "registration accept NSSAI list partial element",
+			data: appendTLV(&RegistrationAccept{
+				GUTI: MobileIdentity{Type: IdentityGUTI, Value: "guti-1"},
+			}, tagAllowedNSSAI, make([]byte, snssaiWireLen+2)),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name: "registration accept T3512 short",
+			data: appendTLV(&RegistrationAccept{
+				GUTI: MobileIdentity{Type: IdentityGUTI, Value: "guti-1"},
+			}, tagT3512, []byte{0x00, 0x0E, 0x10}),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name: "registration accept T3512 over-long",
+			data: appendTLV(&RegistrationAccept{
+				GUTI: MobileIdentity{Type: IdentityGUTI, Value: "guti-1"},
+			}, tagT3512, []byte{0x00, 0x00, 0x0E, 0x10, 0xFF}),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name:    "registration reject T3502 short",
+			data:    appendTLV(&RegistrationReject{Cause: cause.MMCongestion}, tagT3502, []byte{0x01}),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name:    "service reject T3346 empty",
+			data:    appendTLV(&ServiceReject{Cause: cause.MMCongestion}, tagT3346, nil),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name: "registration request last-TAI truncated",
+			data: appendTLV(&RegistrationRequest{
+				RegistrationType: RegInitial,
+				Identity:         MobileIdentity{Type: IdentitySUCI, Value: "310170000000001"},
+			}, tagLastVisitedTAI, make([]byte, taiWireLen-3)),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name:    "configuration update GUTI missing length byte",
+			data:    appendTLV(&ConfigurationUpdateCommand{}, tagGUTI, []byte{byte(IdentityGUTI)}),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name: "establishment request SNSSAI wrong size",
+			data: appendTLV(&PDUSessionEstablishmentRequest{
+				SessionType: SessionIPv4, DNN: "internet",
+			}, tagSNSSAI, []byte{0x01, 0x00, 0x00}),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name: "establishment accept DNS list not multiple of 4",
+			data: appendTLV(&PDUSessionEstablishmentAccept{
+				SessionType: SessionIPv4, Address: Addr{10, 0, 0, 1},
+			}, tagDNSServers, []byte{8, 8, 8, 8, 1, 1}),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name: "establishment reject backoff short",
+			data: appendTLV(&PDUSessionEstablishmentReject{
+				Cause: cause.SMInsufficientResources,
+			}, tagBackoff, []byte{0x00, 0x10}),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name:    "modification command TFT trailing garbage inside IE",
+			data:    appendTLV(&PDUSessionModificationCommand{}, tagTFT, []byte{0x00, 0xAA}),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name:    "modification command QoS short",
+			data:    appendTLV(&PDUSessionModificationCommand{}, tagQoS, make([]byte, qosWireLen-1)),
+			wantErr: ErrMalformedIE,
+		},
+		{
+			name:    "modification request TFT filter count lies",
+			data:    appendTLV(&PDUSessionModificationRequest{}, tagTFT, []byte{0x02}),
+			wantErr: ErrMalformedIE,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msg, err := Unmarshal(tc.data)
+			if err == nil {
+				t.Fatalf("Unmarshal accepted malformed input: %+v", msg)
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error = %v, want wrapped %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestStrictDecodeKeepsForwardCompat confirms the hardening did not break
+// the "comprehension not required" rule: unknown optional tags are still
+// skipped, and known IEs around them still decode.
+func TestStrictDecodeKeepsForwardCompat(t *testing.T) {
+	data := appendTLV(&ServiceReject{Cause: cause.MMCongestion, T3346Seconds: 300},
+		0x7A, []byte{0xCA, 0xFE})
+	msg, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("unknown trailing tag rejected: %v", err)
+	}
+	sr, ok := msg.(*ServiceReject)
+	if !ok {
+		t.Fatalf("decoded %T, want *ServiceReject", msg)
+	}
+	if sr.Cause != cause.MMCongestion || sr.T3346Seconds != 300 {
+		t.Fatalf("known fields corrupted by unknown tag: %+v", sr)
+	}
+}

@@ -113,3 +113,33 @@ func (r *reader) optionals(fn func(tag byte, val []byte)) {
 		fn(tag, val)
 	}
 }
+
+// ie decodes a known optional IE value with strict framing: fn runs on a
+// sub-reader over val, and a sub-reader error or unconsumed bytes fail the
+// outer reader. A recognized IE whose value is short, over-long, or not a
+// whole number of list elements therefore rejects the whole message rather
+// than silently decoding to a truncated prefix or a zero value.
+func (r *reader) ie(tag byte, val []byte, fn func(rr *reader)) {
+	if r.err != nil {
+		return
+	}
+	rr := &reader{buf: val}
+	fn(rr)
+	switch {
+	case rr.err != nil:
+		r.err = fmt.Errorf("%w: tag %#02x: %v", ErrMalformedIE, tag, rr.err)
+	case rr.remaining() != 0:
+		r.err = fmt.Errorf("%w: tag %#02x: %d trailing bytes", ErrMalformedIE, tag, rr.remaining())
+	}
+}
+
+// ieList decodes an IE value that is a whole number of fixed-size list
+// elements, invoking elem once per element. A partial trailing element
+// fails the outer reader via ie's framing check.
+func (r *reader) ieList(tag byte, val []byte, elem func(rr *reader)) {
+	r.ie(tag, val, func(rr *reader) {
+		for rr.err == nil && rr.remaining() > 0 {
+			elem(rr)
+		}
+	})
+}

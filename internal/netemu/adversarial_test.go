@@ -1,0 +1,144 @@
+package netemu
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/seed5g/seed/internal/sched"
+)
+
+func TestLinkReorderLetsLaterSendsOvertake(t *testing.T) {
+	k := sched.New(7)
+	var got []int
+	l := NewLink(k, "t", 10*time.Millisecond, func(m any) { got = append(got, m.(int)) })
+	l.Reorder = 1.0
+	l.ReorderSpan = 100 * time.Millisecond
+	for i := 0; i < 20; i++ {
+		l.Send(i)
+	}
+	k.Run()
+	if len(got) != 20 {
+		t.Fatalf("delivered %d of 20", len(got))
+	}
+	if sort.IntsAreSorted(got) {
+		t.Fatal("20 sends at reorder=1.0 were still delivered strictly FIFO")
+	}
+	re, co, du := l.AdvStats()
+	if re != 20 || co != 0 || du != 0 {
+		t.Fatalf("AdvStats = (%d,%d,%d), want (20,0,0)", re, co, du)
+	}
+}
+
+func TestLinkCorrupterTransformsSelectedMessages(t *testing.T) {
+	k := sched.New(1)
+	var got []int
+	l := NewLink(k, "t", time.Millisecond, func(m any) { got = append(got, m.(int)) })
+	l.Corrupt = 1.0
+	l.Corrupter = func(m any) any { return m.(int) + 100 }
+	for i := 0; i < 10; i++ {
+		l.Send(i)
+	}
+	k.Run()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d of 10", len(got))
+	}
+	for i, v := range got {
+		if v < 100 {
+			t.Fatalf("message %d delivered uncorrupted as %d", i, v)
+		}
+	}
+	if _, co, _ := l.AdvStats(); co != 10 {
+		t.Fatalf("corrupted = %d, want 10", co)
+	}
+}
+
+func TestLinkCorruptIgnoredWithoutCorrupter(t *testing.T) {
+	k := sched.New(1)
+	var got []int
+	l := NewLink(k, "t", time.Millisecond, func(m any) { got = append(got, m.(int)) })
+	l.Corrupt = 1.0 // no Corrupter installed
+	l.Send(42)
+	k.Run()
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("got %v, want [42]", got)
+	}
+	if _, co, _ := l.AdvStats(); co != 0 {
+		t.Fatalf("corrupted = %d, want 0", co)
+	}
+}
+
+func TestLinkDupDeliversEachMessageTwice(t *testing.T) {
+	k := sched.New(9)
+	counts := map[int]int{}
+	l := NewLink(k, "t", time.Millisecond, func(m any) { counts[m.(int)]++ })
+	l.Dup = 1.0
+	for i := 0; i < 5; i++ {
+		l.Send(i)
+	}
+	k.Run()
+	for i := 0; i < 5; i++ {
+		if counts[i] != 2 {
+			t.Fatalf("message %d delivered %d times, want 2", i, counts[i])
+		}
+	}
+	if _, _, du := l.AdvStats(); du != 5 {
+		t.Fatalf("duplicated = %d, want 5", du)
+	}
+}
+
+// TestLinkAdversarialDeterminism: with a fixed kernel seed, the combined
+// reorder+corrupt+duplicate pattern (and hence the delivery sequence and
+// counters) is bit-identical across runs.
+func TestLinkAdversarialDeterminism(t *testing.T) {
+	run := func() ([]int, [3]int) {
+		k := sched.New(42)
+		var got []int
+		l := NewLink(k, "t", 5*time.Millisecond, func(m any) { got = append(got, m.(int)) })
+		l.Jitter = 2 * time.Millisecond
+		l.Loss = 0.05
+		l.Reorder = 0.3
+		l.ReorderSpan = 40 * time.Millisecond
+		l.Dup = 0.2
+		l.Corrupt = 0.1
+		l.Corrupter = func(m any) any { return -m.(int) }
+		for i := 1; i <= 200; i++ {
+			l.Send(i)
+		}
+		k.Run()
+		re, co, du := l.AdvStats()
+		return got, [3]int{re, co, du}
+	}
+	seq1, stats1 := run()
+	seq2, stats2 := run()
+	if !reflect.DeepEqual(seq1, seq2) {
+		t.Fatal("same seed produced different delivery sequences")
+	}
+	if stats1 != stats2 {
+		t.Fatalf("same seed produced different AdvStats: %v vs %v", stats1, stats2)
+	}
+	if stats1[0] == 0 || stats1[1] == 0 || stats1[2] == 0 {
+		t.Fatalf("expected all adversarial events to occur over 200 sends, got %v", stats1)
+	}
+}
+
+func TestDuplexAdversarialSettersApplyBothDirections(t *testing.T) {
+	k := sched.New(1)
+	d := NewDuplex(k, "t", time.Millisecond, func(any) {}, func(any) {})
+	fn := func(m any) any { return m }
+	d.SetReorder(0.25, 7*time.Millisecond)
+	d.SetDup(0.5)
+	d.SetCorrupt(0.75, fn)
+	for _, l := range []*Link{d.A2B, d.B2A} {
+		if l.Reorder != 0.25 || l.ReorderSpan != 7*time.Millisecond {
+			t.Fatalf("%s: reorder knobs not applied", l.Name())
+		}
+		if l.Dup != 0.5 {
+			t.Fatalf("%s: dup knob not applied", l.Name())
+		}
+		if l.Corrupt != 0.75 || l.Corrupter == nil {
+			t.Fatalf("%s: corrupt knobs not applied", l.Name())
+		}
+	}
+}

@@ -30,6 +30,25 @@ type Link struct {
 	Jitter  time.Duration // uniform extra delay in [0, Jitter)
 	Loss    float64       // probability a message is silently dropped
 
+	// Adversarial knobs, all off by default. Each draws from the kernel
+	// RNG at Send time, so a fixed kernel seed reproduces the exact same
+	// reorder/corrupt/duplicate pattern.
+
+	// Reorder is the probability a message skips the FIFO clamp and takes
+	// an extra uniform delay in [0, ReorderSpan), letting later sends
+	// overtake it. ReorderSpan defaults to 4×Latency when zero.
+	Reorder     float64
+	ReorderSpan time.Duration
+	// Dup is the probability a message is delivered a second time, the
+	// duplicate trailing the original by a uniform delay in [0, Latency].
+	Dup float64
+	// Corrupt is the probability a message is passed through Corrupter
+	// before delivery. The Corrupter must not mutate the original message
+	// in place (the sender may retain it); it returns the tampered copy.
+	// With no Corrupter installed, Corrupt is ignored.
+	Corrupt   float64
+	Corrupter func(msg any) any
+
 	down        bool
 	lastArrival time.Duration
 
@@ -39,9 +58,12 @@ type Link struct {
 	// kernel) an event.
 	deliver func(msg any)
 
-	sent      int
-	delivered int
-	dropped   int
+	sent       int
+	delivered  int
+	dropped    int
+	reordered  int
+	corrupted  int
+	duplicated int
 }
 
 // NewLink creates a link on kernel k named name (for diagnostics)
@@ -77,22 +99,53 @@ func (l *Link) Send(msg any) bool {
 		l.dropped++
 		return false
 	}
+	if l.Corrupt > 0 && l.Corrupter != nil && l.k.Rand().Float64() < l.Corrupt {
+		msg = l.Corrupter(msg)
+		l.corrupted++
+	}
 	d := l.Latency
 	if l.Jitter > 0 {
 		d += time.Duration(l.k.Rand().Int63n(int64(l.Jitter)))
 	}
 	arrival := l.k.Now() + d
-	if arrival < l.lastArrival {
-		arrival = l.lastArrival // preserve FIFO under jitter
+	if l.Reorder > 0 && l.k.Rand().Float64() < l.Reorder {
+		// A reordered message neither respects the FIFO clamp nor
+		// advances it: it straggles while later sends overtake.
+		span := l.ReorderSpan
+		if span <= 0 {
+			span = 4 * l.Latency
+		}
+		if span > 0 {
+			arrival += time.Duration(l.k.Rand().Int63n(int64(span)))
+		}
+		l.reordered++
+	} else {
+		if arrival < l.lastArrival {
+			arrival = l.lastArrival // preserve FIFO under jitter
+		}
+		l.lastArrival = arrival
 	}
-	l.lastArrival = arrival
 	l.k.AtArg(arrival, l.deliver, msg)
+	if l.Dup > 0 && l.k.Rand().Float64() < l.Dup {
+		extra := time.Duration(0)
+		if l.Latency > 0 {
+			extra = time.Duration(l.k.Rand().Int63n(int64(l.Latency) + 1))
+		}
+		l.k.AtArg(arrival+extra, l.deliver, msg)
+		l.duplicated++
+	}
 	return true
 }
 
 // Stats returns the number of messages sent, delivered so far, and dropped.
 func (l *Link) Stats() (sent, delivered, dropped int) {
 	return l.sent, l.delivered, l.dropped
+}
+
+// AdvStats returns the adversarial-event counters: messages reordered,
+// corrupted, and duplicated so far.
+func (l *Link) AdvStats() (reordered, corrupted, duplicated int) {
+	return l.reordered, l.corrupted, l.duplicated
 }
 
 // Duplex is a bidirectional channel built from two Links sharing latency
@@ -135,4 +188,23 @@ func (d *Duplex) SetLoss(p float64) {
 func (d *Duplex) SetJitter(j time.Duration) {
 	d.A2B.Jitter = j
 	d.B2A.Jitter = j
+}
+
+// SetReorder sets the reorder probability (and straggler span) in both
+// directions.
+func (d *Duplex) SetReorder(p float64, span time.Duration) {
+	d.A2B.Reorder, d.A2B.ReorderSpan = p, span
+	d.B2A.Reorder, d.B2A.ReorderSpan = p, span
+}
+
+// SetDup sets the duplication probability in both directions.
+func (d *Duplex) SetDup(p float64) {
+	d.A2B.Dup = p
+	d.B2A.Dup = p
+}
+
+// SetCorrupt installs a corrupter with probability p in both directions.
+func (d *Duplex) SetCorrupt(p float64, fn func(msg any) any) {
+	d.A2B.Corrupt, d.A2B.Corrupter = p, fn
+	d.B2A.Corrupt, d.B2A.Corrupter = p, fn
 }

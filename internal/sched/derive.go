@@ -24,3 +24,18 @@ func DeriveSeed(root int64, cell uint64) int64 {
 	z ^= z >> 31
 	return int64(z)
 }
+
+// DeriveSeedN folds a path of cell indices through DeriveSeed, yielding a
+// hierarchical seed tree: DeriveSeedN(root, campaign, case, stream) names a
+// leaf whose value depends only on the path, never on evaluation order.
+// Consumers with several independent randomness needs per cell (the
+// adversary engine draws separate streams for scenario traffic and for
+// mutation choices) take sibling leaves instead of sharing one *rand.Rand,
+// so adding a draw to one stream cannot perturb another.
+func DeriveSeedN(root int64, path ...uint64) int64 {
+	s := root
+	for _, c := range path {
+		s = DeriveSeed(s, c)
+	}
+	return s
+}

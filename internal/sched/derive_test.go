@@ -47,6 +47,31 @@ func TestDeriveSeedStable(t *testing.T) {
 	}
 }
 
+// TestDeriveSeedN pins the hierarchical derivation: a path folds left to
+// right through DeriveSeed, sibling leaves are independent, and the empty
+// path is the root itself.
+func TestDeriveSeedN(t *testing.T) {
+	if got := DeriveSeedN(42); got != 42 {
+		t.Fatalf("empty path: got %d, want the root", got)
+	}
+	if got, want := DeriveSeedN(42, 7), DeriveSeed(42, 7); got != want {
+		t.Fatalf("single-level path: got %d, want DeriveSeed = %d", got, want)
+	}
+	if got, want := DeriveSeedN(42, 7, 3), DeriveSeed(DeriveSeed(42, 7), 3); got != want {
+		t.Fatalf("two-level path: got %d, want nested DeriveSeed = %d", got, want)
+	}
+	// Sibling leaves under one parent must not collide; neither may a
+	// leaf and its parent.
+	seen := map[int64]string{DeriveSeedN(1, 5): "parent"}
+	for c := uint64(0); c < 1000; c++ {
+		s := DeriveSeedN(1, 5, c)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("leaf %d collides with %s", c, prev)
+		}
+		seen[s] = "leaf"
+	}
+}
+
 func TestDeriveSeedFeedsKernel(t *testing.T) {
 	a := New(DeriveSeed(7, 3))
 	b := New(DeriveSeed(7, 3))

@@ -101,6 +101,7 @@ type Card struct {
 	proactive    []ProactiveCommand
 	onProactive  func()
 	onAuth       func(AuthKind)
+	onAPDU       func(Command, Response)
 
 	stats Stats
 }
@@ -384,9 +385,23 @@ func (c *Card) Envelope(aid string, data []byte) ([]byte, error) {
 	return a.HandleEnvelope(data)
 }
 
+// SetAPDUObserver registers a hook invoked with every APDU that goes
+// through Process and the card's response to it. The adversary engine taps
+// the modem↔SIM boundary here to record the command stream it later
+// mutates and re-injects. A nil fn disables observation.
+func (c *Card) SetAPDUObserver(fn func(Command, Response)) { c.onAPDU = fn }
+
 // Process executes a raw APDU. The typed methods above are what the modem
 // uses in-process; Process exists for APDU-level conformance and tests.
 func (c *Card) Process(cmd Command) Response {
+	resp := c.process(cmd)
+	if c.onAPDU != nil {
+		c.onAPDU(cmd, resp)
+	}
+	return resp
+}
+
+func (c *Card) process(cmd Command) Response {
 	c.stats.APDUs++
 	switch cmd.INS {
 	case INSSelect:

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wire form of command APDUs (ISO 7816-4 case 3 with an extended-length
+// escape, as carried on the modem↔SIM T=0 interface):
+//
+//	CLA(1) | INS(1) | P1(1) | P2(1)                       — case 1, no data
+//	CLA(1) | INS(1) | P1(1) | P2(1) | Lc(1) | DATA(Lc)    — case 3, Lc 1..255
+//	CLA | INS | P1 | P2 | 00 | LcHi | LcLo | DATA         — extended Lc
+//
+// The short-form length byte 0x00 escapes to the 2-byte extended length
+// (TS 102 221 allows terminal profiles beyond 255 bytes). MaxAPDUData
+// bounds the extended form so a lying length prefix cannot demand an
+// unbounded allocation.
+
+// MaxAPDUData bounds the data field of a wire-decoded command APDU.
+const MaxAPDUData = 4096
+
+// Wire codec errors. ErrAPDUTruncated covers every "header or data field
+// shorter than its declared length" case; ErrAPDUTooLong rejects data
+// fields beyond MaxAPDUData (encode and decode).
+var (
+	ErrAPDUTruncated = errors.New("sim: truncated APDU")
+	ErrAPDUTooLong   = errors.New("sim: APDU data field too long")
+	ErrAPDUTrailing  = errors.New("sim: trailing bytes after APDU data field")
+)
+
+// AppendBytes appends the command's wire encoding to dst and returns it,
+// or an error when the data field exceeds MaxAPDUData.
+func (c Command) AppendBytes(dst []byte) ([]byte, error) {
+	n := len(c.Data)
+	if n > MaxAPDUData {
+		return dst, fmt.Errorf("%w: %d > %d", ErrAPDUTooLong, n, MaxAPDUData)
+	}
+	dst = append(dst, c.CLA, c.INS, c.P1, c.P2)
+	switch {
+	case n == 0:
+		// case 1: no Lc at all
+	case n <= 255:
+		dst = append(dst, byte(n))
+	default:
+		dst = append(dst, 0x00, byte(n>>8), byte(n))
+	}
+	return append(dst, c.Data...), nil
+}
+
+// Bytes returns the command's wire encoding. It panics on a data field
+// beyond MaxAPDUData (construct such commands only via the struct, not
+// the wire).
+func (c Command) Bytes() []byte {
+	out, err := c.AppendBytes(nil)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ParseCommand decodes a wire-form command APDU. The full input must be
+// consumed: a data field shorter than Lc is ErrAPDUTruncated, bytes beyond
+// it are ErrAPDUTrailing, and an extended length over MaxAPDUData is
+// ErrAPDUTooLong — never a panic and never a silently clipped data field.
+func ParseCommand(b []byte) (Command, error) {
+	if len(b) < 4 {
+		return Command{}, fmt.Errorf("%w: header needs 4 bytes, have %d", ErrAPDUTruncated, len(b))
+	}
+	cmd := Command{CLA: b[0], INS: b[1], P1: b[2], P2: b[3]}
+	rest := b[4:]
+	if len(rest) == 0 {
+		return cmd, nil // case 1
+	}
+	var n int
+	if rest[0] == 0x00 {
+		if len(rest) < 3 {
+			return Command{}, fmt.Errorf("%w: extended Lc needs 2 bytes", ErrAPDUTruncated)
+		}
+		n = int(rest[1])<<8 | int(rest[2])
+		rest = rest[3:]
+	} else {
+		n = int(rest[0])
+		rest = rest[1:]
+	}
+	if n > MaxAPDUData {
+		return Command{}, fmt.Errorf("%w: Lc %d > %d", ErrAPDUTooLong, n, MaxAPDUData)
+	}
+	if len(rest) < n {
+		return Command{}, fmt.Errorf("%w: Lc %d, data %d", ErrAPDUTruncated, n, len(rest))
+	}
+	if len(rest) > n {
+		return Command{}, fmt.Errorf("%w: %d bytes", ErrAPDUTrailing, len(rest)-n)
+	}
+	if n > 0 {
+		cmd.Data = append([]byte(nil), rest[:n]...)
+	}
+	return cmd, nil
+}
+
+// AppendResponseBytes appends the response's wire encoding — DATA | SW1 |
+// SW2 — to dst.
+func (r Response) AppendResponseBytes(dst []byte) []byte {
+	dst = append(dst, r.Data...)
+	return append(dst, byte(r.SW>>8), byte(r.SW))
+}
+
+// ParseResponse decodes a wire-form response APDU (trailing 2-byte status
+// word, everything before it data).
+func ParseResponse(b []byte) (Response, error) {
+	if len(b) < 2 {
+		return Response{}, fmt.Errorf("%w: response needs SW1 SW2", ErrAPDUTruncated)
+	}
+	r := Response{SW: uint16(b[len(b)-2])<<8 | uint16(b[len(b)-1])}
+	if n := len(b) - 2; n > 0 {
+		r.Data = append([]byte(nil), b[:n]...)
+	}
+	return r, nil
+}

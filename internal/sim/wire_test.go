@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestCommandWireRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		cmd  Command
+	}{
+		{"case 1 no data", Command{CLA: 0x00, INS: INSSelect, P1: 0x04, P2: 0x00}},
+		{"short Lc 1", Command{CLA: 0x80, INS: INSAuthenticate, P1: 0, P2: 0, Data: []byte{0x42}}},
+		{"short Lc 255", Command{CLA: 0x80, INS: INSUpdateBinary, Data: bytes.Repeat([]byte{0xA5}, 255)}},
+		{"extended Lc 256", Command{CLA: 0x80, INS: INSEnvelope, Data: bytes.Repeat([]byte{0x5A}, 256)}},
+		{"extended Lc max", Command{CLA: 0x80, INS: INSEnvelope, Data: bytes.Repeat([]byte{0x01}, MaxAPDUData)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wire := tc.cmd.Bytes()
+			got, err := ParseCommand(wire)
+			if err != nil {
+				t.Fatalf("ParseCommand: %v", err)
+			}
+			if got.CLA != tc.cmd.CLA || got.INS != tc.cmd.INS || got.P1 != tc.cmd.P1 ||
+				got.P2 != tc.cmd.P2 || !bytes.Equal(got.Data, tc.cmd.Data) {
+				t.Fatalf("roundtrip mismatch:\n sent %+v\n got  %+v", tc.cmd, got)
+			}
+			// Parsed data must be a copy, not an alias of the wire buffer.
+			if len(wire) > 4 && len(got.Data) > 0 {
+				wire[len(wire)-1] ^= 0xFF
+				if got.Data[len(got.Data)-1] == tc.cmd.Data[len(tc.cmd.Data)-1]^0xFF {
+					t.Fatal("parsed Data aliases the input buffer")
+				}
+			}
+		})
+	}
+}
+
+func TestParseCommandRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		wire    []byte
+		wantErr error
+	}{
+		{"empty", nil, ErrAPDUTruncated},
+		{"short header", []byte{0x00, 0xA4, 0x04}, ErrAPDUTruncated},
+		{"Lc lies long", []byte{0x00, 0xA4, 0x04, 0x00, 0x05, 0x01, 0x02}, ErrAPDUTruncated},
+		{"trailing after data", []byte{0x00, 0xA4, 0x04, 0x00, 0x01, 0xAA, 0xBB}, ErrAPDUTrailing},
+		{"extended Lc header cut", []byte{0x00, 0xA4, 0x04, 0x00, 0x00, 0x01}, ErrAPDUTruncated},
+		{"extended Lc lies long", []byte{0x00, 0xC2, 0x00, 0x00, 0x00, 0x01, 0x00, 0xFF}, ErrAPDUTruncated},
+		{
+			"extended Lc over max",
+			append([]byte{0x00, 0xC2, 0x00, 0x00, 0x00, 0xFF, 0xFF}, make([]byte, 0xFFFF)...),
+			ErrAPDUTooLong,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseCommand(tc.wire)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error = %v, want wrapped %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseCommandZeroLengthEscape covers the non-canonical encodings: an
+// extended-Lc field of zero decodes as a dataless command (and re-encodes
+// canonically as case 1), and a short form for a small payload re-encodes
+// identically.
+func TestParseCommandZeroLengthEscape(t *testing.T) {
+	got, err := ParseCommand([]byte{0x00, 0xA4, 0x04, 0x00, 0x00, 0x00, 0x00})
+	if err != nil {
+		t.Fatalf("zero extended Lc: %v", err)
+	}
+	if len(got.Data) != 0 {
+		t.Fatalf("zero extended Lc decoded %d data bytes", len(got.Data))
+	}
+	if canon := got.Bytes(); !bytes.Equal(canon, []byte{0x00, 0xA4, 0x04, 0x00}) {
+		t.Fatalf("canonical re-encode = % x, want case-1 header", canon)
+	}
+}
+
+func TestAppendBytesOversize(t *testing.T) {
+	c := Command{Data: make([]byte, MaxAPDUData+1)}
+	if _, err := c.AppendBytes(nil); !errors.Is(err, ErrAPDUTooLong) {
+		t.Fatalf("AppendBytes oversize error = %v, want %v", err, ErrAPDUTooLong)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bytes() did not panic on oversize data")
+		}
+	}()
+	_ = c.Bytes()
+}
+
+func TestResponseWireRoundTrip(t *testing.T) {
+	for _, resp := range []Response{
+		{SW: SWOK},
+		{SW: SWOK, Data: []byte{AuthTagSuccess, 0x01, 0x02}},
+	} {
+		wire := resp.AppendResponseBytes(nil)
+		got, err := ParseResponse(wire)
+		if err != nil {
+			t.Fatalf("ParseResponse: %v", err)
+		}
+		if got.SW != resp.SW || !bytes.Equal(got.Data, resp.Data) {
+			t.Fatalf("roundtrip mismatch:\n sent %+v\n got  %+v", resp, got)
+		}
+	}
+	if _, err := ParseResponse([]byte{0x90}); !errors.Is(err, ErrAPDUTruncated) {
+		t.Fatalf("short response error = %v, want %v", err, ErrAPDUTruncated)
+	}
+}

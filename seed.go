@@ -145,6 +145,26 @@ func New(seedVal int64) *Testbed {
 // Now returns the current virtual time.
 func (tb *Testbed) Now() time.Duration { return tb.kern.Now() }
 
+// Kernel exposes the testbed's event kernel for white-box tooling (the
+// adversary engine quiesces the simulation and asserts the timer set
+// drains). Production experiments should stay on Advance/RunUntil.
+func (tb *Testbed) Kernel() *sched.Kernel { return tb.kern }
+
+// Network exposes the emulated core network for white-box tooling: the
+// adversary engine injects mutated uplink NAS at the AMF boundary and
+// scrambles UE context to provoke out-of-state deliveries.
+func (tb *Testbed) Network() *core5g.Network { return tb.net }
+
+// Plugin exposes the infrastructure-side SEED plugin so white-box tooling
+// can keep forwarding record uploads after wrapping a device's record
+// sink.
+func (tb *Testbed) Plugin() *core.InfraPlugin { return tb.plugin }
+
+// Core exposes the device's internal assembly — modem, card, monitor,
+// applet, radio — for white-box tooling that taps and injects below the
+// public API.
+func (d *Device) Core() *core.Device { return d.inner }
+
 // Advance runs the simulation for d of virtual time.
 func (tb *Testbed) Advance(d time.Duration) { tb.kern.RunFor(d) }
 
