@@ -6,7 +6,7 @@
 //	seedbench [-exp all|table1|table2|table3|table4|table5|figure2|figure3|
 //	           figure11a|figure11b|figure12|figure13|coverage|learning]
 //	          [-samples N] [-seed S] [-parallel P] [-reps N] [-json FILE]
-//	          [-cpuprofile FILE] [-memprofile FILE]
+//	          [-cpuprofile FILE] [-memprofile FILE] [-freshboot]
 //
 // Everything runs on the virtual clock: regenerating the full evaluation
 // takes seconds of wall time. Independent scenario cells fan across
@@ -24,6 +24,11 @@
 // removes scheduler and GC noise from the recorded speedups.
 // -cpuprofile/-memprofile write pprof profiles of the whole run
 // for `go tool pprof` (the profiling workflow in EXPERIMENTS.md).
+//
+// Cells normally start from a cloned booted-prototype snapshot (see
+// DESIGN.md); -freshboot disables the clone path and boots every cell
+// from scratch under the identical seed protocol — same bytes out,
+// fresh-boot cost — which is the A/B baseline BENCH_snapshot.json uses.
 package main
 
 import (
@@ -62,10 +67,17 @@ type expTiming struct {
 
 // benchReport is the top-level -json document.
 type benchReport struct {
-	Seed                  int64       `json:"seed"`
-	Samples               int         `json:"samples"`
-	Parallel              int         `json:"parallel"`
-	GOMAXPROCS            int         `json:"gomaxprocs"`
+	Seed     int64 `json:"seed"`
+	Samples  int   `json:"samples"`
+	Parallel int   `json:"parallel"`
+	// GOMAXPROCS and NumCPU qualify every recorded speedup: a scaling
+	// number means nothing without knowing how many cores backed it, and
+	// -parallel beyond NumCPU measures goroutine scheduling, not cores.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// CloneFromPrototype records which cell-setup arm produced these
+	// timings: cloned-from-prototype (default) or -freshboot full boots.
+	CloneFromPrototype    bool        `json:"clone_from_prototype"`
 	Experiments           []expTiming `json:"experiments"`
 	TotalWallMS           float64     `json:"total_wall_ms"`
 	TotalSequentialWallMS float64     `json:"total_sequential_wall_ms,omitempty"`
@@ -82,6 +94,7 @@ func main() {
 	cdfOut := flag.String("cdf", "", "also write the Figure 2 CDFs as CSV to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken at exit to this file")
+	freshBoot := flag.Bool("freshboot", false, "boot every cell from scratch instead of cloning the booted prototype (the A/B baseline for BENCH_snapshot.json)")
 	flag.Parse()
 	if *reps < 1 {
 		*reps = 1
@@ -115,8 +128,13 @@ func main() {
 		}()
 	}
 
+	seed.SetCloneFromPrototype(!*freshBoot)
 	seed.SetParallelism(*parallel)
 	workers := seed.Parallelism()
+	if workers > runtime.NumCPU() {
+		fmt.Fprintf(os.Stderr, "WARNING: -parallel %d exceeds the %d available CPUs; "+
+			"speedups will measure goroutine scheduling, not cores\n", workers, runtime.NumCPU())
+	}
 
 	ds := seed.GenerateDataset(*seedVal)
 
@@ -163,6 +181,8 @@ func main() {
 	report := benchReport{
 		Seed: *seedVal, Samples: *samples,
 		Parallel: workers, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:             runtime.NumCPU(),
+		CloneFromPrototype: !*freshBoot,
 	}
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/seed5g/seed"
 	"github.com/seed5g/seed/internal/cause"
 	"github.com/seed5g/seed/internal/core"
 	"github.com/seed5g/seed/internal/fleet"
@@ -50,6 +51,7 @@ type result struct {
 	Conns         int     `json:"conns"`
 	Records       int     `json:"records_per_device"`
 	Reports       int     `json:"reports_per_device"`
+	Testbed       int     `json:"testbed_devices"`
 	Seed          int64   `json:"seed"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
 	WallMS        float64 `json:"wall_ms"`
@@ -125,6 +127,62 @@ func genDevice(rootSeed int64, i, records, reports, causes int) deviceLoad {
 	return d
 }
 
+// simProto boots one SEED-R device to connected steady state; each
+// testbed-derived fleet device clones it instead of re-running the boot.
+var simProto = seed.NewProto(func(tb *seed.Testbed) *seed.Device {
+	d := tb.NewDevice(seed.ModeSEEDR)
+	d.Start()
+	tb.RunUntil(d.Connected, time.Minute)
+	return d
+})
+
+// testbedDevice derives device i's learning records by driving a cloned
+// SEED testbed through an operator-customized failure: the rows the SIM
+// applet actually learned and uploaded become the device's fleet payload
+// (the synthetic genDevice rows are replaced; reports stay synthetic).
+// The same rows feed the in-process baseline, so -verify still holds
+// byte-for-byte. Returns false when the run produced no records.
+func testbedDevice(ld *deviceLoad, rootSeed int64, i, causes int) bool {
+	tb, d, put := simProto.Cell(sched.DeriveSeedN(rootSeed, uint64(i), 2))
+	defer put()
+	if !d.Connected() {
+		return false
+	}
+	var blob []byte
+	d.Core().CApp.SetRecordSink(func(b []byte) {
+		blob = append(blob[:0], b...)
+	})
+
+	code := uint8(150 + i%causes)
+	c := cause.MM(cause.Code(code))
+	opts := seed.InjectOpts{Count: -1, HealAfter: 30 * time.Second}
+	if i%2 == 0 {
+		tb.InjectControlFailure(d, code, opts)
+		tb.SimulateMobility(d)
+	} else {
+		c = cause.SM(cause.Code(code))
+		tb.InjectDataFailure(d, code, opts)
+		tb.ReleaseInternetSessions(d)
+		// The release is asynchronous: wait for the failure to manifest
+		// before watching for recovery.
+		tb.RunUntil(func() bool { return !d.Connected() }, 30*time.Second)
+	}
+	// Let the applet run its trial sequence and the heal land; then pull
+	// the learned records through the OTA upload leg.
+	tb.RunUntil(d.Connected, 10*time.Minute)
+	tb.Advance(15 * time.Second)
+	d.Core().CApp.UploadRecords()
+	tb.Advance(time.Second)
+
+	rows, err := core.UnmarshalRecords(blob)
+	if err != nil || len(rows) == 0 {
+		return false
+	}
+	ld.records = rows
+	ld.query = c
+	return true
+}
+
 func ms(s *metrics.Series, p float64) float64 {
 	if s == nil {
 		return 0
@@ -141,6 +199,7 @@ func main() {
 		records = flag.Int("records", 4, "learning-record rows per device")
 		reports = flag.Int("reports", 1, "failure reports per device")
 		causes  = flag.Int("causes", 12, "distinct customized causes per plane")
+		testbed = flag.Int("testbed", 32, "derive the first N devices' records from real cloned-testbed SEED runs (0: all synthetic)")
 		seedVal = flag.Int64("seed", 1, "workload seed")
 		master  = flag.String("master", "", "fleet master key, 32 hex digits (default: built-in dev key)")
 		jsonOut = flag.String("json", "", "write machine-readable results to FILE (\"-\" for stdout)")
@@ -169,16 +228,21 @@ func main() {
 	}
 
 	// Generate the fleet's deterministic workload and the in-process
-	// sequential baseline model.
+	// sequential baseline model. The first -testbed devices earn their
+	// records from real cloned-testbed runs; the rest are synthetic.
 	loads := make([]deviceLoad, *devices)
 	baseline := core.NewLearner(0.1, rand.New(rand.NewSource(*seedVal)))
+	fromTestbed := 0
 	for i := range loads {
 		loads[i] = genDevice(*seedVal, i, *records, *reports, *causes)
+		if i < *testbed && testbedDevice(&loads[i], *seedVal, i, *causes) {
+			fromTestbed++
+		}
 		baseline.Crowdsource(loads[i].records)
 	}
 	expected := fleet.MarshalModel(baseline.Export())
-	logf("seedload: %d devices, %d workers, %d conns, %d record rows/device (model %d bytes)",
-		*devices, *workers, *conns, *records, len(expected))
+	logf("seedload: %d devices (%d testbed-derived), %d workers, %d conns, %d record rows/device (model %d bytes)",
+		*devices, fromTestbed, *workers, *conns, *records, len(expected))
 
 	cl := fleet.NewClient(fleet.ClientConfig{Addr: *addr, Conns: *conns, Seed: *seedVal})
 	defer cl.Close()
@@ -225,7 +289,7 @@ func main() {
 
 	res := result{
 		Devices: *devices, Workers: *workers, Conns: *conns,
-		Records: *records, Reports: *reports, Seed: *seedVal,
+		Records: *records, Reports: *reports, Testbed: fromTestbed, Seed: *seedVal,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		WallMS:        float64(wall) / float64(time.Millisecond),
 		UploadsPerSec: float64(*devices) / wall.Seconds(),

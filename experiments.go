@@ -325,19 +325,29 @@ func ExperimentFigure3(samples int, seedVal int64) Figure3Result {
 	}
 }
 
-// figure3Trial runs one detection-latency cell: boot, steady state,
-// block, and wait for the Android monitor to notice.
-func figure3Trial(kind DeliveryFailureKind, blockDNSToo bool, i int, cellSeed int64) (bool, time.Duration) {
-	tb := New(cellSeed)
+// figure3Proto boots the Figure 3 steady state: a legacy device with the
+// video+web mix connected and generating traffic.
+var figure3Proto = NewProto(func(tb *Testbed) *Device {
 	d := tb.NewDevice(ModeLegacy)
 	video := d.AddApp(AppVideo)
 	web := d.AddApp(AppWeb)
 	d.Start()
 	if !tb.RunUntil(d.Connected, connectDeadline) {
-		return false, 0
+		return d
 	}
 	video.Start()
 	web.Start()
+	return d
+})
+
+// figure3Trial runs one detection-latency cell from a cloned boot:
+// steady state, block, and wait for the Android monitor to notice.
+func figure3Trial(kind DeliveryFailureKind, blockDNSToo bool, i int, cellSeed int64) (bool, time.Duration) {
+	tb, d, put := figure3Proto.Cell(cellSeed)
+	defer put()
+	if !d.Connected() {
+		return false, 0
+	}
 	// Stagger onset within the monitor's polling period so the
 	// latency distribution reflects the phase uniformly.
 	tb.Advance(2*time.Minute + (time.Duration(i)*7919*time.Millisecond)%time.Minute)
@@ -441,18 +451,38 @@ func ExperimentTable5(trials int, seedVal int64) Table5Result {
 	return res
 }
 
-// runAppDisruptionTrial runs one (app, failure class, mode) trial and
-// returns the raw network outage (-1 when it never recovered).
+// table5Protos boots one (app, mode) steady state per Table 5 cell
+// group: the device with recommended timers and the single app warmed for
+// 90 seconds.
+var table5Protos = NewProtoMap(func(k struct {
+	App  AppKind
+	Mode Mode
+}) func(*Testbed) *Device {
+	return func(tb *Testbed) *Device {
+		d := tb.NewDevice(k.Mode, WithAndroidRecommendedTimers())
+		a := d.AddApp(k.App)
+		d.Start()
+		if !tb.RunUntil(d.Connected, connectDeadline) {
+			return d
+		}
+		a.Start()
+		tb.Advance(90 * time.Second)
+		return d
+	}
+})
+
+// runAppDisruptionTrial runs one (app, failure class, mode) trial from a
+// cloned boot and returns the raw network outage (-1 when it never
+// recovered).
 func runAppDisruptionTrial(app AppKind, class string, mode Mode, seedVal int64) time.Duration {
-	tb := New(seedVal)
-	d := tb.NewDevice(mode, WithAndroidRecommendedTimers())
-	a := d.AddApp(app)
-	d.Start()
-	if !tb.RunUntil(d.Connected, connectDeadline) {
+	tb, d, put := table5Protos.Proto(struct {
+		App  AppKind
+		Mode Mode
+	}{app, mode}).Cell(seedVal)
+	defer put()
+	if !d.Connected() {
 		return -1
 	}
-	a.Start()
-	tb.Advance(90 * time.Second)
 
 	var fixedCond func() bool
 	switch class {
@@ -563,10 +593,8 @@ func ExperimentFigure11a(seedVal int64) Figure11aResult {
 // seed (a paired comparison).
 func measureSignalingOverhead(seedVal int64) float64 {
 	run := func(mode Mode, cellSeed int64) int {
-		tb := New(cellSeed)
-		d := tb.NewDevice(mode)
-		d.Start()
-		tb.RunUntil(d.Connected, connectDeadline)
+		tb, d, put := bareProtos.Proto(mode).Cell(cellSeed)
+		defer put()
 		base := tb.CoreSignalingLoad()
 		const failures = 20
 		for i := 0; i < failures; i++ {
@@ -862,12 +890,14 @@ func legacyLadderTime(seedVal int64, rung int) time.Duration {
 }
 
 // seedResetTime measures a SEED reset action end to end: from the
-// diagnosis that triggers it until connectivity is back.
+// diagnosis that triggers it until connectivity is back. The connected
+// device comes from a cloned boot; the A3/B3 arm adds a second device on
+// the same cloned testbed (its stale-DNN failure must manifest from that
+// device's own boot).
 func seedResetTime(seedVal int64, mode Mode, action string) time.Duration {
-	tb := New(seedVal)
-	d := tb.NewDevice(mode)
-	d.Start()
-	if !tb.RunUntil(d.Connected, connectDeadline) {
+	tb, d, put := bareProtos.Proto(mode).Cell(seedVal)
+	defer put()
+	if !d.Connected() {
 		return -1
 	}
 	tb.Advance(30 * time.Second)

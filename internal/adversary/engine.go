@@ -79,8 +79,76 @@ func (rec *recorder) pool(ch Channel) [][]byte {
 	}
 }
 
+// caseHandles are the boot products of a case prototype: the warmed-up
+// device plus the recorder wired into its taps.
+type caseHandles struct {
+	dev *seed.Device
+	rec *recorder
+}
+
+// caseKey selects a prototype family member: cases differing only in
+// seed/stimulus/mutations share a booted steady state.
+type caseKey struct {
+	Mode uint8
+	Opts uint8
+}
+
+// caseProtos boots one warmed, fully tapped testbed per (mode, opts)
+// combination. The recorder is part of the snapshot (its boot-time pools
+// restore with everything else), so cloned cases start from identical
+// tapped traffic.
+var caseProtos = seed.NewProtoMap(func(k caseKey) func(*seed.Testbed) caseHandles {
+	return func(tb *seed.Testbed) caseHandles {
+		var opts []seed.DeviceOption
+		if k.Opts&OptProactiveAT != 0 {
+			opts = append(opts, seed.WithProactiveAT())
+		}
+		if k.Opts&OptRecommendedTimers != 0 {
+			opts = append(opts, seed.WithAndroidRecommendedTimers())
+		}
+		mode := seed.ModeLegacy
+		switch k.Mode {
+		case 2:
+			mode = seed.ModeSEEDU
+		case 3:
+			mode = seed.ModeSEEDR
+		}
+		dev := tb.NewDevice(mode, opts...)
+		cd := dev.Core()
+
+		// Tap the three live boundaries. NAS frames are re-marshaled from
+		// the decoded message (canonical wire bytes); APDUs are captured in
+		// wire form; record-sink blobs keep flowing to the infrastructure
+		// plugin.
+		rec := &recorder{}
+		cd.OnNAS = func(sent bool, msg nas.Message) {
+			b := nas.Marshal(msg)
+			if sent {
+				rec.nasUp = append(rec.nasUp, b)
+			} else {
+				rec.nasDown = append(rec.nasDown, b)
+			}
+		}
+		cd.Card.SetAPDUObserver(func(cmd sim.Command, _ sim.Response) {
+			if b, err := cmd.AppendBytes(nil); err == nil {
+				rec.apdu = append(rec.apdu, b)
+			}
+		})
+		cd.CApp.SetRecordSink(func(blob []byte) {
+			rec.fleet = append(rec.fleet, append([]byte(nil), blob...))
+			_ = tb.Plugin().ReceiveRecordUpload(blob)
+		})
+
+		dev.Start()
+		tb.Advance(warmupPhase)
+		return caseHandles{dev: dev, rec: rec}
+	}
+})
+
 // Execute runs one case to completion and reports every invariant breach.
-// It builds a private testbed, so concurrent Executes are independent.
+// The booted, tapped steady state comes from a cloned prototype (per
+// mode/opts combination); each worker restores its own pooled instance,
+// so concurrent Executes stay independent.
 func Execute(c Case) (res Result) {
 	res.Case = c
 	defer func() {
@@ -89,49 +157,11 @@ func Execute(c Case) (res Result) {
 		}
 	}()
 
-	tb := seed.New(c.Seed)
-	var opts []seed.DeviceOption
-	if c.Opts&OptProactiveAT != 0 {
-		opts = append(opts, seed.WithProactiveAT())
-	}
-	if c.Opts&OptRecommendedTimers != 0 {
-		opts = append(opts, seed.WithAndroidRecommendedTimers())
-	}
-	mode := seed.ModeLegacy
-	switch c.Mode {
-	case 2:
-		mode = seed.ModeSEEDU
-	case 3:
-		mode = seed.ModeSEEDR
-	}
-	dev := tb.NewDevice(mode, opts...)
+	tb, h, put := caseProtos.Proto(caseKey{Mode: c.Mode, Opts: c.Opts}).Cell(c.Seed)
+	defer put()
+	dev, rec := h.dev, h.rec
 	cd := dev.Core()
 	imsi := dev.IMSI()
-
-	// Tap the three live boundaries. NAS frames are re-marshaled from the
-	// decoded message (canonical wire bytes); APDUs are captured in wire
-	// form; record-sink blobs keep flowing to the infrastructure plugin.
-	rec := &recorder{}
-	cd.OnNAS = func(sent bool, msg nas.Message) {
-		b := nas.Marshal(msg)
-		if sent {
-			rec.nasUp = append(rec.nasUp, b)
-		} else {
-			rec.nasDown = append(rec.nasDown, b)
-		}
-	}
-	cd.Card.SetAPDUObserver(func(cmd sim.Command, _ sim.Response) {
-		if b, err := cmd.AppendBytes(nil); err == nil {
-			rec.apdu = append(rec.apdu, b)
-		}
-	})
-	cd.CApp.SetRecordSink(func(blob []byte) {
-		rec.fleet = append(rec.fleet, append([]byte(nil), blob...))
-		_ = tb.Plugin().ReceiveRecordUpload(blob)
-	})
-
-	dev.Start()
-	tb.Advance(warmupPhase)
 
 	applyStimulus(tb, dev, c.Stimulus)
 	tb.Advance(stimulusPhase)

@@ -144,8 +144,15 @@ type Monitor struct {
 	dnsFails      int
 	lastDNSFail   time.Duration
 
-	probeFails   int
-	probeBusy    bool
+	probeFails int
+	probeBusy  bool
+	// probeGen numbers probe attempts. Both probe completion paths (the
+	// reply callback and the timeout) check it so a late outcome from a
+	// superseded attempt is ignored. Keeping the "already answered" state
+	// in fields rather than a captured local also keeps the monitor
+	// snapshot-safe: an in-flight probe restores and completes correctly
+	// (see the actor snapshot contract in DESIGN.md).
+	probeGen     uint32
 	stalled      bool
 	stallReason  string
 	ladderIdx    int
@@ -231,12 +238,12 @@ func (m *Monitor) probe() {
 		return
 	}
 	m.probeBusy = true
-	answered := false
+	m.probeGen++
+	gen := m.probeGen
 	m.hook.Probe(func(ok bool) {
-		if answered {
-			return
+		if gen != m.probeGen || !m.probeBusy {
+			return // superseded attempt, or the timeout got here first
 		}
-		answered = true
 		m.probeBusy = false
 		if ok {
 			m.probeFails = 0
@@ -246,8 +253,7 @@ func (m *Monitor) probe() {
 		}
 	})
 	m.k.After(m.cfg.ProbeTimeout, func() {
-		if !answered {
-			answered = true
+		if gen == m.probeGen && m.probeBusy {
 			m.probeBusy = false
 			m.probeFails++
 		}

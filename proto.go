@@ -1,0 +1,188 @@
+package seed
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/seed5g/seed/internal/snap"
+)
+
+// This file implements clone-from-prototype testbed boot. A full boot —
+// registration, NAS handshakes, SIM crypto, app warm-up — dominates
+// per-cell cost in every experiment sweep, yet every cell boots to the
+// same steady state. A Proto boots that state once per pooled instance,
+// snapshots it (internal/snap + the kernel's hand-written snapshot), and
+// hands each cell a restored copy in microseconds.
+//
+// Determinism contract: every boot — prototype or fresh — runs under the
+// fixed protoBootSeed, and the cell's own seed enters only via Reseed at
+// the exact same post-boot instant on both paths. A cloned cell and a
+// fresh-booted cell are therefore bit-identical by construction; the
+// equivalence tests in snapshot_equiv_test.go hold this to byte equality.
+
+// protoBootSeed seeds the boot phase of every prototype and every
+// equivalent fresh boot. Cells are differentiated afterwards by Reseed.
+const protoBootSeed int64 = 0x5EEDB007
+
+// cloneBoot selects whether Proto.Cell serves clones (default) or fresh
+// boots through the identical seed protocol. The switch exists for A/B
+// measurement (seedbench -freshboot) and the equivalence tests.
+var cloneBoot atomic.Bool
+
+func init() { cloneBoot.Store(true) }
+
+// SetCloneFromPrototype toggles clone-from-prototype cell setup globally.
+// Disabled, every Proto.Cell performs a full fresh boot under the same
+// seed protocol — byte-identical results, fresh-boot cost — which is how
+// the end-to-end speedup in BENCH_snapshot.json is measured.
+func SetCloneFromPrototype(on bool) { cloneBoot.Store(on) }
+
+// CloneFromPrototype reports whether clone-from-prototype is enabled.
+func CloneFromPrototype() bool { return cloneBoot.Load() }
+
+// Snapshot records the complete testbed state — kernel schedule, RNG,
+// network, devices, apps, plugin/learner — plus any extra roots (e.g. a
+// recorder wired into device taps). Restore on the returned snapshot
+// rewinds everything in place.
+func (tb *Testbed) Snapshot(extraRoots ...any) *snap.Snapshot {
+	roots := make([]any, 0, 1+len(extraRoots))
+	roots = append(roots, tb)
+	roots = append(roots, extraRoots...)
+	return snap.Take(roots...)
+}
+
+// Reseed re-seeds the testbed's random stream in place. Cloned cells call
+// it right after restore; fresh cells at the same post-boot point.
+func (tb *Testbed) Reseed(seedVal int64) { tb.kern.Reseed(seedVal) }
+
+// Proto is a booted-testbed prototype: boot describes how to take a brand
+// new testbed to the steady state cells start from, and returns whatever
+// handles (device, apps, taps) cells need. Instances are pooled; each
+// worker of a parallel sweep reuses its own booted instance via
+// restore-on-acquire, so a dirty or even panicked cell self-cleans on the
+// next Get.
+type Proto[T any] struct {
+	boot func(tb *Testbed) T
+	pool sync.Pool
+}
+
+type protoInst[T any] struct {
+	tb   *Testbed
+	h    T
+	snap *snap.Snapshot
+}
+
+// NewProto declares a prototype. boot must be deterministic and must
+// follow the actor snapshot contract (DESIGN.md): state in reachable
+// fields, closures capturing only pointers and immutables.
+func NewProto[T any](boot func(tb *Testbed) T) *Proto[T] {
+	p := &Proto[T]{boot: boot}
+	p.pool.New = func() any {
+		inst := &protoInst[T]{tb: New(protoBootSeed)}
+		inst.h = p.boot(inst.tb)
+		inst.snap = inst.tb.Snapshot(&inst.h)
+		return inst
+	}
+	return p
+}
+
+// Get acquires a booted instance, rewinds it to the boot snapshot,
+// reseeds it for this cell, and returns the testbed, the boot handles,
+// and a release func that must be called when the cell is done.
+func (p *Proto[T]) Get(cellSeed int64) (tb *Testbed, h T, put func()) {
+	inst := p.pool.Get().(*protoInst[T])
+	inst.snap.Restore()
+	inst.tb.Reseed(cellSeed)
+	return inst.tb, inst.h, func() { p.pool.Put(inst) }
+}
+
+// Fresh runs the full boot from scratch under the same seed protocol as
+// Get (fixed boot seed, then Reseed). It exists for the equivalence tests
+// and the fresh-boot arm of the benchmarks.
+func (p *Proto[T]) Fresh(cellSeed int64) (*Testbed, T) {
+	tb := New(protoBootSeed)
+	h := p.boot(tb)
+	tb.Reseed(cellSeed)
+	return tb, h
+}
+
+// Cell is what experiment code calls: Get when clone-from-prototype is
+// enabled, Fresh otherwise. The release func is a no-op on the fresh path.
+func (p *Proto[T]) Cell(cellSeed int64) (*Testbed, T, func()) {
+	if !cloneBoot.Load() {
+		tb, h := p.Fresh(cellSeed)
+		return tb, h, func() {}
+	}
+	return p.Get(cellSeed)
+}
+
+// ProtoMap lazily creates one Proto per key, for prototype families
+// parameterized by mode/app/options (each combination boots its own
+// steady state).
+type ProtoMap[K comparable, T any] struct {
+	mu   sync.Mutex
+	m    map[K]*Proto[T]
+	boot func(K) func(*Testbed) T
+}
+
+// NewProtoMap declares a prototype family; boot(k) returns the boot
+// function for key k.
+func NewProtoMap[K comparable, T any](boot func(K) func(*Testbed) T) *ProtoMap[K, T] {
+	return &ProtoMap[K, T]{m: make(map[K]*Proto[T]), boot: boot}
+}
+
+// Proto returns (creating on first use) the prototype for key k.
+func (pm *ProtoMap[K, T]) Proto(k K) *Proto[T] {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	p := pm.m[k]
+	if p == nil {
+		p = NewProto(pm.boot(k))
+		pm.m[k] = p
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Shared prototype families used by the experiment runners
+// ---------------------------------------------------------------------------
+
+// bareProtos boots one device of the given mode to connected steady
+// state — the common prefix of the desync replays, the signaling-overhead
+// measurement, and the reset-time cells.
+var bareProtos = NewProtoMap(func(mode Mode) func(*Testbed) *Device {
+	return func(tb *Testbed) *Device {
+		d := tb.NewDevice(mode)
+		d.Start()
+		tb.RunUntil(d.Connected, connectDeadline)
+		return d
+	}
+})
+
+// deliveryHandles are the boot products of a delivery-replay cell.
+type deliveryHandles struct {
+	d    *Device
+	apps [3]*App // video, web, edge-AR
+}
+
+// deliveryProtos boots the §7.1 delivery-replay steady state: recommended
+// Android timers, the three-app traffic mix warmed for two minutes.
+var deliveryProtos = NewProtoMap(func(mode Mode) func(*Testbed) deliveryHandles {
+	return func(tb *Testbed) deliveryHandles {
+		d := tb.NewDevice(mode, WithAndroidRecommendedTimers())
+		h := deliveryHandles{d: d}
+		h.apps[0] = d.AddApp(AppVideo)
+		h.apps[1] = d.AddApp(AppWeb)
+		h.apps[2] = d.AddApp(AppEdgeAR)
+		d.Start()
+		if !tb.RunUntil(d.Connected, connectDeadline) {
+			return h
+		}
+		for _, a := range h.apps {
+			a.Start()
+		}
+		tb.Advance(2 * time.Minute) // steady state
+		return h
+	}
+})

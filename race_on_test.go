@@ -1,0 +1,9 @@
+//go:build race
+
+package seed
+
+// raceEnabled reports whether this binary was built with the race
+// detector, whose instrumentation allocates and distorts timings; the
+// allocation and cost guards skip themselves under it (their binding
+// run is the uninstrumented bench-smoke CI job).
+const raceEnabled = true

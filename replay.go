@@ -30,15 +30,21 @@ const replayWindow = 90 * time.Minute
 const connectDeadline = time.Minute
 
 // ReplayManagement reproduces one management-failure case from the
-// dataset on a fresh testbed with a device of the given mode, and
-// measures the resulting service disruption the way §7.1.1 does.
+// dataset with a device of the given mode, and measures the resulting
+// service disruption the way §7.1.1 does. Cases whose failure manifests
+// after a clean boot run on a cloned prototype testbed; cases that inject
+// before the device ever starts boot fresh (their measured window IS the
+// boot).
 func ReplayManagement(fc FailureCase, mode Mode, seedVal int64) ReplayResult {
+	if fc.Scenario == ScenarioDesync {
+		tb, d, put := bareProtos.Proto(mode).Cell(seedVal)
+		defer put()
+		return replayDesyncOn(tb, d)
+	}
 	tb := New(seedVal)
 	switch fc.Scenario {
 	case ScenarioTransient, ScenarioSilent:
 		return tb.replayInjected(fc, mode)
-	case ScenarioDesync:
-		return tb.replayDesync(mode)
 	case ScenarioStaleConfigDevice:
 		if fc.ControlPlane {
 			return tb.replayStaleCPlaneDevice(fc, mode)
@@ -100,12 +106,11 @@ func (tb *Testbed) replayInjected(fc FailureCase, mode Mode) ReplayResult {
 	})
 }
 
-// replayDesync boots cleanly, then loses the UE context network-side and
-// triggers a mobility re-registration with the now-stale identity.
-func (tb *Testbed) replayDesync(mode Mode) ReplayResult {
-	d := tb.NewDevice(mode)
-	d.Start()
-	if !tb.RunUntil(d.Connected, connectDeadline) {
+// replayDesyncOn takes a connected device (from a cloned or fresh boot),
+// loses the UE context network-side, and triggers a mobility
+// re-registration with the now-stale identity.
+func replayDesyncOn(tb *Testbed, d *Device) ReplayResult {
+	if !d.Connected() {
 		return ReplayResult{}
 	}
 	tb.DesyncIdentity(d)
@@ -214,21 +219,15 @@ type DeliveryReplayResult struct {
 
 // ReplayDelivery reproduces one data-delivery failure with the paper's
 // §7.1 traffic mix (background video, web browsing every 5 s, and the
-// edge-AR reporter app) and the recommended Android action timers.
+// edge-AR reporter app) and the recommended Android action timers. The
+// booted, warmed steady state comes from a cloned prototype.
 func ReplayDelivery(dc DeliveryCase, mode Mode, seedVal int64) DeliveryReplayResult {
-	tb := New(seedVal)
-	d := tb.NewDevice(mode, WithAndroidRecommendedTimers())
-	video := d.AddApp(AppVideo)
-	web := d.AddApp(AppWeb)
-	ar := d.AddApp(AppEdgeAR)
-	d.Start()
-	if !tb.RunUntil(d.Connected, connectDeadline) {
+	tb, h, put := deliveryProtos.Proto(mode).Cell(seedVal)
+	defer put()
+	d := h.d
+	if !d.Connected() {
 		return DeliveryReplayResult{}
 	}
-	video.Start()
-	web.Start()
-	ar.Start()
-	tb.Advance(2 * time.Minute) // steady state
 
 	onset := tb.Now()
 	// fixed reports whether the data connection itself works again — the
@@ -266,7 +265,7 @@ func ReplayDelivery(dc DeliveryCase, mode Mode, seedVal int64) DeliveryReplayRes
 	// from any app (the fast reporter is often the AR app, not the most
 	// affected one).
 	detected := time.Duration(-1)
-	apps := []*App{video, web, ar}
+	apps := h.apps[:]
 	detect := func() bool {
 		if d.inner.Mon.Stalled() {
 			return true

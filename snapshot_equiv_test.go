@@ -1,0 +1,109 @@
+package seed
+
+import (
+	"testing"
+	"time"
+)
+
+// runScenario drives a cell from the post-boot point to a comparable
+// summary. tb and d come either from a clone or from a fresh boot.
+type scenarioResult struct {
+	Connected bool
+	Now       time.Duration
+	SIMOps    int
+	Stalls    int
+	Actions   int
+	Reboots   int
+	Pending   int
+}
+
+func summarize(tb *Testbed, d *Device) scenarioResult {
+	stalls, actions := d.inner.Mon.Stats()
+	return scenarioResult{
+		Connected: d.Connected(),
+		Now:       tb.Now(),
+		SIMOps:    d.SIMOperations(),
+		Stalls:    stalls,
+		Actions:   actions,
+		Reboots:   d.Reboots(),
+		Pending:   tb.Kernel().Pending(),
+	}
+}
+
+// testProto boots a SEED-R device with apps to connected steady state —
+// the richest prototype shape (monitor tickers armed, app traffic and
+// pooled packets in flight).
+var equivProto = NewProto(func(tb *Testbed) *Device {
+	d := tb.NewDevice(ModeSEEDR, WithAndroidRecommendedTimers())
+	video := d.AddApp(AppVideo)
+	web := d.AddApp(AppWeb)
+	d.Start()
+	tb.RunUntil(d.Connected, time.Minute)
+	video.Start()
+	web.Start()
+	tb.Advance(2 * time.Minute)
+	return d
+})
+
+// drive runs a representative failure/recovery scenario from the shared
+// post-boot point.
+func driveScenario(tb *Testbed, d *Device, which int) scenarioResult {
+	switch which {
+	case 0: // data-plane block + recovery
+		tb.BlockTCP(d)
+		tb.RunUntil(func() bool { return d.inner.Mon.Stalled() }, 30*time.Minute)
+		tb.Advance(5 * time.Minute)
+	case 1: // identity desync on mobility
+		tb.DesyncIdentity(d)
+		tb.SimulateMobility(d)
+		tb.Advance(10 * time.Minute)
+	case 2: // DNS outage
+		tb.SetDNSOutage(true)
+		tb.Advance(15 * time.Minute)
+	}
+	return summarize(tb, d)
+}
+
+// TestClonedCellMatchesFresh is the core equivalence guarantee: for every
+// scenario and several cell seeds, a cloned cell must produce a summary
+// byte-identical to a fresh-booted cell (same boot-seed protocol). Run
+// under any -parallel: clones restore per-worker instances.
+func TestClonedCellMatchesFresh(t *testing.T) {
+	scenarios := []string{"tcp-block", "desync", "dns-outage"}
+	for which, name := range scenarios {
+		which, name := which, name
+		t.Run(name, func(t *testing.T) {
+			for _, cellSeed := range []int64{1, 42, 987654321} {
+				freshTB, freshD := equivProto.Fresh(cellSeed)
+				want := driveScenario(freshTB, freshD, which)
+
+				cloneTB, cloneD, put := equivProto.Get(cellSeed)
+				got := driveScenario(cloneTB, cloneD, which)
+				put()
+
+				if got != want {
+					t.Errorf("seed %d: cloned %+v != fresh %+v", cellSeed, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCloneIdempotent reuses one pooled instance for the same cell twice;
+// the second clone must reproduce the first bit-for-bit even though the
+// instance is dirty from the first run.
+func TestCloneIdempotent(t *testing.T) {
+	for which := 0; which < 3; which++ {
+		tb1, d1, put1 := equivProto.Get(7)
+		first := driveScenario(tb1, d1, which)
+		put1()
+
+		tb2, d2, put2 := equivProto.Get(7)
+		second := driveScenario(tb2, d2, which)
+		put2()
+
+		if first != second {
+			t.Errorf("scenario %d: second clone %+v != first %+v", which, second, first)
+		}
+	}
+}
