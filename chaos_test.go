@@ -5,11 +5,14 @@ package seed_test
 // injections stop the device always recovers.
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"time"
 
 	seed "github.com/seed5g/seed"
+	"github.com/seed5g/seed/internal/core"
+	"github.com/seed5g/seed/internal/fleet"
 )
 
 func TestChaosStormAlwaysRecovers(t *testing.T) {
@@ -72,6 +75,135 @@ func TestChaosStormAlwaysRecovers(t *testing.T) {
 				t.Fatalf("trial %d: connected but traffic dead", trial)
 			}
 		})
+	}
+}
+
+// TestChaosStormFleetUploadsFoldExactly runs fleet uploads MID-storm on a
+// SEED-U and a SEED-R device: every record blob the carrier apps push OTA
+// goes over the wire to a journaled fleet server while failures are being
+// injected. At the end, a clean in-process fold of exactly the uploaded
+// blobs must equal the server's aggregate byte-for-byte — chaos may delay
+// or suppress uploads, but whatever was uploaded folds exactly once.
+func TestChaosStormFleetUploadsFoldExactly(t *testing.T) {
+	srv := fleet.NewServer(fleet.ServerConfig{
+		Addr:       "127.0.0.1:0",
+		Shards:     2,
+		JournalDir: t.TempDir(),
+		Logf:       func(string, ...any) {},
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Shutdown() }()
+	cl := fleet.NewClient(fleet.ClientConfig{Addr: srv.Addr().String(), Conns: 2})
+	defer cl.Close()
+
+	tb := seed.New(71)
+	uploads := map[string][][]byte{} // IMSI → plaintext blobs, upload order
+	hook := func(d *seed.Device) {
+		fd := fleet.NewSimDevice(fleet.DefaultMasterKey, d.IMSI())
+		d.Core().CApp.SetRecordSink(func(b []byte) {
+			blob := append([]byte(nil), b...)
+			sealed, err := fd.SealRecords(blob)
+			if err == nil {
+				err = cl.UploadRecords(fd.IMSI, sealed)
+			}
+			if err != nil {
+				t.Errorf("fleet upload for %s: %v", fd.IMSI, err)
+				return
+			}
+			uploads[fd.IMSI] = append(uploads[fd.IMSI], blob)
+		})
+	}
+	du := tb.NewDevice(seed.ModeSEEDU)
+	dr := tb.NewDevice(seed.ModeSEEDR)
+	hook(du)
+	hook(dr)
+	du.Start()
+	dr.Start()
+	if !tb.RunUntil(func() bool { return du.Connected() && dr.Connected() }, time.Minute) {
+		t.Fatal("initial attach failed")
+	}
+
+	// Each round: a learnable failure cycle on one device (persistent
+	// injection → applet trials → recovery) while background chaos hits
+	// the OTHER device, so the uploads fire while the network is still
+	// misbehaving for its peer.
+	rng := rand.New(rand.NewSource(71))
+	devs := []*seed.Device{dr, du}
+	for round := 0; round < 4; round++ {
+		a, b := devs[round%2], devs[1-round%2]
+		switch rng.Intn(3) {
+		case 0:
+			tb.BlockTCP(b)
+		case 1:
+			tb.StallGateway(b)
+		case 2:
+			tb.SetDNSOutage(true)
+		}
+		code := uint8(150 + round)
+		opts := seed.InjectOpts{Count: -1, HealAfter: 30 * time.Second}
+		if round%2 == 0 {
+			tb.InjectControlFailure(a, code, opts)
+			tb.SimulateMobility(a)
+		} else {
+			tb.InjectDataFailure(a, code, opts)
+			tb.ReleaseInternetSessions(a)
+			tb.RunUntil(func() bool { return !a.Connected() }, 30*time.Second)
+		}
+		if !tb.RunUntil(a.Connected, 10*time.Minute) {
+			t.Fatalf("round %d: device never recovered", round)
+		}
+		tb.Advance(15 * time.Second)
+		// Mid-storm OTA pulls: b's chaos is still standing while these ship.
+		du.Core().CApp.UploadRecords()
+		dr.Core().CApp.UploadRecords()
+		tb.Advance(2 * time.Second)
+		tb.ClearInjections(a)
+		tb.ClearInjections(b)
+		tb.SetDNSOutage(false)
+	}
+
+	tb.ClearInjections(du)
+	tb.ClearInjections(dr)
+	tb.SetDNSOutage(false)
+	if !tb.RunUntil(func() bool { return du.Connected() && dr.Connected() }, 30*time.Minute) {
+		t.Fatalf("devices wedged after storm (SEED-U=%s SEED-R=%s)", du.State(), dr.State())
+	}
+	// Final pull after the dust settles.
+	tb.Advance(30 * time.Second)
+	du.Core().CApp.UploadRecords()
+	dr.Core().CApp.UploadRecords()
+	tb.Advance(2 * time.Second)
+
+	total := 0
+	for imsi, blobs := range uploads {
+		total += len(blobs)
+		t.Logf("%s uploaded %d record blobs", imsi, len(blobs))
+	}
+	if total == 0 {
+		t.Fatal("storm produced zero fleet uploads — nothing was exercised")
+	}
+
+	// Clean replay: fold exactly the uploaded plaintext blobs, in order,
+	// into a fresh learner. Byte equality with the server's merged model is
+	// the exactly-once claim.
+	baseline := core.NewLearner(0.1, rand.New(rand.NewSource(1)))
+	for _, blobs := range uploads {
+		for _, blob := range blobs {
+			rows, err := core.UnmarshalRecords(blob)
+			if err != nil {
+				t.Fatalf("uploaded blob does not parse: %v", err)
+			}
+			baseline.Crowdsource(rows)
+		}
+	}
+	got, err := cl.FetchModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fleet.MarshalModel(baseline.Export())) {
+		t.Fatal("server aggregate differs from clean replay of uploaded blobs")
 	}
 }
 

@@ -10,12 +10,27 @@
 //	seedfleetd [-addr HOST:PORT] [-shards N] [-queue N] [-max-frame BYTES]
 //	           [-read-timeout D] [-write-timeout D] [-retry-after D]
 //	           [-snapshot FILE] [-master HEX32]
+//	           [-journal DIR] [-compact-bytes N] [-force-empty]
+//	           [-node-id ID -cluster ID=ADDR,ID=ADDR,... [-epoch N]]
+//
+// Durability: -journal DIR enables the crash-tolerant tier — every acked
+// upload is group-commit fsync'd to a per-shard journal before the ack
+// leaves, so even SIGKILL replays to the exact pre-crash model (and the
+// exact envelope counters, so client retries dedup). -snapshot is the
+// legacy drain-only model file and is mutually exclusive with -journal.
+// Damaged durable state refuses startup; -force-empty quarantines it as
+// *.corrupt and starts empty instead.
+//
+// Clustering: -cluster lists the members (consistent-hash ring over IMSI)
+// and -node-id names this process. Requests for IMSIs owned elsewhere get
+// a redirect carrying the current map; rebalances arrive over the wire as
+// prepare/install/commit frames driven by a controller (see seedload
+// -chaos).
 //
 // SIGINT/SIGTERM drains gracefully: in-flight round trips complete, every
-// queued upload is folded and acknowledged, the aggregate model is
-// snapshotted to -snapshot (if set), and the process exits 0 after
-// logging "drain complete". Restarting with the same -snapshot restores
-// the model, so no learning is lost across restarts.
+// queued upload is folded and acknowledged, durable state is compacted
+// (or the -snapshot written), and the process exits 0 after logging
+// "drain complete".
 package main
 
 import (
@@ -27,6 +42,7 @@ import (
 	"time"
 
 	"github.com/seed5g/seed/internal/fleet"
+	"github.com/seed5g/seed/internal/fleet/cluster"
 )
 
 func main() {
@@ -40,6 +56,12 @@ func main() {
 		retryAfter   = flag.Duration("retry-after", 25*time.Millisecond, "backpressure wait hint")
 		snapshot     = flag.String("snapshot", "", "aggregate-model snapshot file (restored on start, written on drain)")
 		master       = flag.String("master", "", "fleet master key, 32 hex digits (default: built-in dev key)")
+		journalDir   = flag.String("journal", "", "durable journal directory (crash-tolerant tier; excludes -snapshot)")
+		compactBytes = flag.Int64("compact-bytes", 4<<20, "per-shard journal size triggering snapshot compaction")
+		forceEmpty   = flag.Bool("force-empty", false, "quarantine damaged durable state and start empty instead of refusing")
+		nodeID       = flag.String("node-id", "", "this node's ID in the cluster map")
+		clusterSpec  = flag.String("cluster", "", "cluster members as id=host:port,... (requires -node-id)")
+		epoch        = flag.Uint64("epoch", 1, "bootstrap shard-map epoch (with -cluster)")
 	)
 	flag.Parse()
 
@@ -52,6 +74,10 @@ func main() {
 		WriteTimeout: *writeTimeout,
 		RetryAfter:   *retryAfter,
 		SnapshotPath: *snapshot,
+		JournalDir:   *journalDir,
+		CompactBytes: *compactBytes,
+		ForceEmpty:   *forceEmpty,
+		NodeID:       *nodeID,
 	}
 	if *master != "" {
 		k, err := fleet.ParseMasterKey(*master)
@@ -60,6 +86,14 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.MasterKey = k
+	}
+	if *clusterSpec != "" {
+		nodes, err := cluster.ParseNodeList(*clusterSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seedfleetd:", err)
+			os.Exit(2)
+		}
+		cfg.Map = cluster.New(*epoch, nodes, 0)
 	}
 
 	srv := fleet.NewServer(cfg)

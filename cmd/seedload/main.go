@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,10 +40,137 @@ import (
 	"github.com/seed5g/seed/internal/cause"
 	"github.com/seed5g/seed/internal/core"
 	"github.com/seed5g/seed/internal/fleet"
+	"github.com/seed5g/seed/internal/fleet/cluster"
 	"github.com/seed5g/seed/internal/metrics"
 	"github.com/seed5g/seed/internal/report"
 	"github.com/seed5g/seed/internal/sched"
 )
+
+// fleetAPI is the surface the drive loop needs. The single-node Client
+// satisfies it directly; cluster mode wraps a ClusterClient so the same
+// loop drives a sharded fleet tier unchanged.
+type fleetAPI interface {
+	UploadRecords(imsi string, sealed []byte) error
+	Report(imsi string, sealed []byte) error
+	Query(imsi string, c cause.Cause) ([]byte, error)
+	FetchModel() ([]byte, error)
+	FetchStats() (fleet.ServerStats, error)
+	Retries() uint64
+	Redials() uint64
+	Latency(op string) *metrics.Series
+}
+
+// clusterAdapter adapts ClusterClient's context-first surface to fleetAPI
+// and keeps its own cross-node latency series (what a device experiences,
+// redirects and failovers included).
+type clusterAdapter struct {
+	cc    *fleet.ClusterClient
+	latMu sync.Mutex
+	lat   map[string]*metrics.Series
+}
+
+func newClusterAdapter(cc *fleet.ClusterClient) *clusterAdapter {
+	return &clusterAdapter{cc: cc, lat: map[string]*metrics.Series{}}
+}
+
+func (a *clusterAdapter) record(op string, start time.Time) {
+	a.latMu.Lock()
+	s := a.lat[op]
+	if s == nil {
+		s = metrics.NewSeries(op)
+		a.lat[op] = s
+	}
+	s.Add(time.Since(start))
+	a.latMu.Unlock()
+}
+
+func (a *clusterAdapter) UploadRecords(imsi string, sealed []byte) error {
+	start := time.Now()
+	err := a.cc.UploadRecords(context.Background(), imsi, sealed)
+	if err == nil {
+		a.record("upload", start)
+	}
+	return err
+}
+
+func (a *clusterAdapter) Report(imsi string, sealed []byte) error {
+	start := time.Now()
+	err := a.cc.Report(context.Background(), imsi, sealed)
+	if err == nil {
+		a.record("report", start)
+	}
+	return err
+}
+
+func (a *clusterAdapter) Query(imsi string, c cause.Cause) ([]byte, error) {
+	start := time.Now()
+	p, err := a.cc.Query(context.Background(), imsi, c)
+	if err == nil {
+		a.record("query", start)
+	}
+	return p, err
+}
+
+func (a *clusterAdapter) FetchModel() ([]byte, error) {
+	return a.cc.FetchClusterModel(context.Background())
+}
+
+// FetchStats sums the counters across members (per-node detail is the
+// chaos driver's business).
+func (a *clusterAdapter) FetchStats() (fleet.ServerStats, error) {
+	stats, errs := a.cc.FetchStatsAll(context.Background())
+	for id, err := range errs {
+		return fleet.ServerStats{}, fmt.Errorf("node %s: %w", id, err)
+	}
+	var sum fleet.ServerStats
+	for _, st := range stats {
+		sum.Conns += st.Conns
+		sum.Uploads += st.Uploads
+		sum.Duplicates += st.Duplicates
+		sum.RecordRows += st.RecordRows
+		sum.Reports += st.Reports
+		sum.Queries += st.Queries
+		sum.Suggestions += st.Suggestions
+		sum.Backpressured += st.Backpressured
+		sum.Errors += st.Errors
+		sum.Dropped += st.Dropped
+		sum.WrongShard += st.WrongShard
+		sum.JournalRecords += st.JournalRecords
+		sum.JournalSyncs += st.JournalSyncs
+		sum.Compactions += st.Compactions
+		sum.ReplayedRecords += st.ReplayedRecords
+		if st.Epoch > sum.Epoch {
+			sum.Epoch = st.Epoch
+		}
+	}
+	return sum, nil
+}
+
+func (a *clusterAdapter) eachNodeClient(fn func(id string, cl *fleet.Client)) {
+	for _, n := range a.cc.Map().Nodes() {
+		if cl := a.cc.NodeLatency(n.ID); cl != nil {
+			fn(n.ID, cl)
+		}
+	}
+}
+
+func (a *clusterAdapter) Retries() uint64 {
+	var sum uint64
+	a.eachNodeClient(func(_ string, cl *fleet.Client) { sum += cl.Retries() })
+	return sum
+}
+
+func (a *clusterAdapter) Redials() uint64 {
+	var sum uint64
+	a.eachNodeClient(func(_ string, cl *fleet.Client) { sum += cl.Redials() })
+	return sum
+}
+
+func (a *clusterAdapter) Latency(op string) *metrics.Series {
+	a.latMu.Lock()
+	defer a.latMu.Unlock()
+	return a.lat[op]
+}
 
 // result is the machine-readable run record (-json).
 type result struct {
@@ -190,21 +318,42 @@ func ms(s *metrics.Series, p float64) float64 {
 	return float64(s.Percentile(p)) / float64(time.Millisecond)
 }
 
+func latSummary(api fleetAPI, op string) string {
+	s := api.Latency(op)
+	if s == nil || s.Len() == 0 {
+		return op + ": no samples"
+	}
+	return fmt.Sprintf("%s: n=%d p50=%.2fms p95=%.2fms p99=%.2fms",
+		op, s.Len(), ms(s, 50), ms(s, 95), ms(s, 99))
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7316", "seedfleetd address")
-		devices = flag.Int("devices", 1000, "simulated device count")
-		workers = flag.Int("workers", 4, "client shards (worker goroutines)")
-		conns   = flag.Int("conns", 0, "connection pool size (default: workers)")
-		records = flag.Int("records", 4, "learning-record rows per device")
-		reports = flag.Int("reports", 1, "failure reports per device")
-		causes  = flag.Int("causes", 12, "distinct customized causes per plane")
-		testbed = flag.Int("testbed", 32, "derive the first N devices' records from real cloned-testbed SEED runs (0: all synthetic)")
-		seedVal = flag.Int64("seed", 1, "workload seed")
-		master  = flag.String("master", "", "fleet master key, 32 hex digits (default: built-in dev key)")
-		jsonOut = flag.String("json", "", "write machine-readable results to FILE (\"-\" for stdout)")
-		verify  = flag.Bool("verify", true, "compare the server model against the in-process baseline")
-		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		addr        = flag.String("addr", "127.0.0.1:7316", "seedfleetd address (single-node mode)")
+		clusterSpec = flag.String("cluster", "", "drive a cluster instead: members as id=host:port,...")
+		epoch       = flag.Uint64("epoch", 1, "bootstrap shard-map epoch (with -cluster)")
+		devices     = flag.Int("devices", 1000, "simulated device count")
+		workers     = flag.Int("workers", 4, "client shards (worker goroutines)")
+		conns       = flag.Int("conns", 0, "connection pool size (default: workers)")
+		records     = flag.Int("records", 4, "learning-record rows per device")
+		reports     = flag.Int("reports", 1, "failure reports per device")
+		causes      = flag.Int("causes", 12, "distinct customized causes per plane")
+		testbed     = flag.Int("testbed", 32, "derive the first N devices' records from real cloned-testbed SEED runs (0: all synthetic)")
+		seedVal     = flag.Int64("seed", 1, "workload seed")
+		master      = flag.String("master", "", "fleet master key, 32 hex digits (default: built-in dev key)")
+		jsonOut     = flag.String("json", "", "write machine-readable results to FILE (\"-\" for stdout)")
+		verify      = flag.Bool("verify", true, "compare the server model against the in-process baseline")
+		quiet       = flag.Bool("quiet", false, "suppress progress output")
+
+		chaosMode  = flag.Bool("chaos", false, "run the kill-and-rebalance chaos campaign (spawns its own cluster; see -fleetd)")
+		fleetdPath = flag.String("fleetd", "", "seedfleetd binary for -chaos (required)")
+		chaosNodes = flag.Int("nodes", 3, "cluster size for -chaos")
+		jrnlRoot   = flag.String("journal-root", "", "journal root directory for -chaos (default: temp dir)")
+		killDown   = flag.Duration("kill-down", 250*time.Millisecond, "how long the SIGKILL'd node stays down before restart")
+		lossy      = flag.Bool("lossy", false, "route cluster traffic through lossy TCP proxies")
+		proxyDelay = flag.Duration("proxy-delay", 2*time.Millisecond, "lossy proxy: base one-way delay")
+		proxyJit   = flag.Duration("proxy-jitter", 3*time.Millisecond, "lossy proxy: added uniform jitter")
+		proxyKill  = flag.Float64("proxy-killprob", 0.02, "lossy proxy: per-connection kill probability per forwarded chunk")
 	)
 	flag.Parse()
 
@@ -219,6 +368,27 @@ func main() {
 	}
 	if *conns <= 0 {
 		*conns = *workers
+	}
+
+	if *chaosMode {
+		os.Exit(runChaos(chaosOpts{
+			fleetd:     *fleetdPath,
+			nodes:      *chaosNodes,
+			journals:   *jrnlRoot,
+			devices:    *devices,
+			workers:    *workers,
+			records:    *records,
+			causes:     *causes,
+			seed:       *seedVal,
+			masterKey:  masterKey,
+			killDown:   *killDown,
+			lossy:      *lossy,
+			proxyDelay: *proxyDelay,
+			proxyJit:   *proxyJit,
+			proxyKill:  *proxyKill,
+			jsonOut:    *jsonOut,
+			quiet:      *quiet,
+		}))
 	}
 
 	logf := func(format string, args ...any) {
@@ -244,8 +414,29 @@ func main() {
 	logf("seedload: %d devices (%d testbed-derived), %d workers, %d conns, %d record rows/device (model %d bytes)",
 		*devices, fromTestbed, *workers, *conns, *records, len(expected))
 
-	cl := fleet.NewClient(fleet.ClientConfig{Addr: *addr, Conns: *conns, Seed: *seedVal})
-	defer cl.Close()
+	var api fleetAPI
+	if *clusterSpec != "" {
+		nodes, err := cluster.ParseNodeList(*clusterSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seedload:", err)
+			os.Exit(2)
+		}
+		cc, err := fleet.NewClusterClient(fleet.ClusterClientConfig{
+			Nodes: nodes,
+			Epoch: *epoch,
+			Client: fleet.ClientConfig{Conns: *conns, Seed: *seedVal},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seedload:", err)
+			os.Exit(2)
+		}
+		defer cc.Close()
+		api = newClusterAdapter(cc)
+	} else {
+		cl := fleet.NewClient(fleet.ClientConfig{Addr: *addr, Conns: *conns, Seed: *seedVal})
+		defer cl.Close()
+		api = cl
+	}
 
 	var lost, suggestions atomic.Int64
 	var wg sync.WaitGroup
@@ -261,7 +452,7 @@ func main() {
 				blob := core.MarshalRecords(ld.records)
 				sealed, err := dev.SealRecords(blob)
 				if err == nil {
-					err = cl.UploadRecords(ld.imsi, sealed)
+					err = api.UploadRecords(ld.imsi, sealed)
 				}
 				if err != nil {
 					lost.Add(1)
@@ -271,15 +462,17 @@ func main() {
 				for _, rep := range ld.reports {
 					sr, err := dev.SealReport(rep.Marshal())
 					if err == nil {
-						err = cl.Report(ld.imsi, sr)
+						err = api.Report(ld.imsi, sr)
 					}
 					if err != nil {
 						lost.Add(1)
 						fmt.Fprintf(os.Stderr, "seedload: %s report: %v\n", ld.imsi, err)
 					}
 				}
-				if _, ok, err := dev.QuerySuggestion(cl, ld.query); err == nil && ok {
-					suggestions.Add(1)
+				if payload, err := api.Query(ld.imsi, ld.query); err == nil {
+					if _, ok, _ := dev.OpenSuggest(payload); ok {
+						suggestions.Add(1)
+					}
 				}
 			}
 		}(loads[lo:hi])
@@ -294,20 +487,20 @@ func main() {
 		WallMS:        float64(wall) / float64(time.Millisecond),
 		UploadsPerSec: float64(*devices) / wall.Seconds(),
 		Lost:          lost.Load(),
-		Retries:       cl.Retries(),
-		Redials:       cl.Redials(),
+		Retries:       api.Retries(),
+		Redials:       api.Redials(),
 		Suggestions:   suggestions.Load(),
-		UploadP50MS:   ms(cl.Latency("upload"), 50),
-		UploadP95MS:   ms(cl.Latency("upload"), 95),
-		UploadP99MS:   ms(cl.Latency("upload"), 99),
-		QueryP50MS:    ms(cl.Latency("query"), 50),
-		QueryP95MS:    ms(cl.Latency("query"), 95),
-		QueryP99MS:    ms(cl.Latency("query"), 99),
+		UploadP50MS:   ms(api.Latency("upload"), 50),
+		UploadP95MS:   ms(api.Latency("upload"), 95),
+		UploadP99MS:   ms(api.Latency("upload"), 99),
+		QueryP50MS:    ms(api.Latency("query"), 50),
+		QueryP95MS:    ms(api.Latency("query"), 95),
+		QueryP99MS:    ms(api.Latency("query"), 99),
 	}
 	totalOps := *devices * (2 + *reports) // upload + reports + query
 	res.OpsPerSec = float64(totalOps) / wall.Seconds()
 
-	if st, err := cl.FetchStats(); err == nil {
+	if st, err := api.FetchStats(); err == nil {
 		res.Server = st
 	} else {
 		fmt.Fprintf(os.Stderr, "seedload: stats pull: %v\n", err)
@@ -315,7 +508,7 @@ func main() {
 
 	exit := 0
 	if *verify {
-		got, err := cl.FetchModel()
+		got, err := api.FetchModel()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seedload: model pull: %v\n", err)
 			exit = 1
@@ -337,8 +530,8 @@ func main() {
 
 	logf("seedload: %d uploads in %.1fms — %.0f uploads/s, %.0f ops/s (lost=%d retries=%d redials=%d)",
 		*devices, res.WallMS, res.UploadsPerSec, res.OpsPerSec, res.Lost, res.Retries, res.Redials)
-	logf("seedload: %s", cl.LatencySummary("upload"))
-	logf("seedload: %s", cl.LatencySummary("query"))
+	logf("seedload: %s", latSummary(api, "upload"))
+	logf("seedload: %s", latSummary(api, "query"))
 	if res.ModelMatch != nil {
 		logf("seedload: model match: %v (%d bytes, %d suggestions received)", *res.ModelMatch, res.ModelBytes, res.Suggestions)
 	}

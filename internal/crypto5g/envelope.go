@@ -69,6 +69,21 @@ func (e *Envelope) Seal(dir Direction, plaintext []byte) ([]byte, error) {
 	return out, nil
 }
 
+// Counters returns the per-direction send and receive counters, indexed
+// by Direction. Together with the key they are the envelope's entire
+// mutable state, so capturing them is enough to persist or hand off a
+// subscriber channel (the fleet journal snapshots and shard handoffs).
+func (e *Envelope) Counters() (send, recv [2]uint32) {
+	return e.sendCtr, e.recvCtr
+}
+
+// SetCounters restores counters previously captured with Counters. The
+// caller owns monotonicity: restoring a lower receive counter reopens the
+// replay window, so recovery paths must only ever raise counters.
+func (e *Envelope) SetCounters(send, recv [2]uint32) {
+	e.sendCtr, e.recvCtr = send, recv
+}
+
 // Open verifies and decrypts a sealed message for the given direction,
 // enforcing counter monotonicity.
 func (e *Envelope) Open(dir Direction, sealed []byte) ([]byte, error) {

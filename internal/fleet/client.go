@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -113,12 +114,19 @@ func (cl *Client) Close() {
 }
 
 // checkout takes a pooled connection, dialing if the permit is unused.
-func (cl *Client) checkout() (*poolConn, error) {
-	pc := <-cl.pool
+// Cancelling ctx aborts both the wait for a pool slot and the dial.
+func (cl *Client) checkout(ctx context.Context) (*poolConn, error) {
+	var pc *poolConn
+	select {
+	case pc = <-cl.pool:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	if pc != nil {
 		return pc, nil
 	}
-	c, err := net.DialTimeout("tcp", cl.cfg.Addr, cl.cfg.DialTimeout)
+	d := net.Dialer{Timeout: cl.cfg.DialTimeout}
+	c, err := d.DialContext(ctx, "tcp", cl.cfg.Addr)
 	if err != nil {
 		cl.pool <- nil // return the permit
 		return nil, err
@@ -139,24 +147,37 @@ func (cl *Client) putBack(pc *poolConn, broken bool) {
 }
 
 // roundTrip performs one request/response exchange on a pooled connection.
-func (cl *Client) roundTrip(req Frame) (Frame, error) {
-	pc, err := cl.checkout()
+// A context cancellation mid-exchange expires the conn's deadline, which
+// unblocks the read/write; the conn is then discarded as broken (its
+// stream position is unknowable).
+func (cl *Client) roundTrip(ctx context.Context, req Frame) (Frame, error) {
+	pc, err := cl.checkout(ctx)
 	if err != nil {
 		return Frame{}, err
 	}
 	deadline := time.Now().Add(cl.cfg.RequestTimeout)
 	_ = pc.c.SetDeadline(deadline)
+	stop := context.AfterFunc(ctx, func() { _ = pc.c.SetDeadline(time.Now()) })
+	defer stop()
 	if err := WriteFrame(pc.bw, req); err != nil {
 		cl.putBack(pc, true)
-		return Frame{}, err
+		return Frame{}, cl.ctxErr(ctx, err)
 	}
 	resp, err := ReadFrame(pc.br, cl.cfg.MaxFrame)
 	if err != nil {
 		cl.putBack(pc, true)
-		return Frame{}, err
+		return Frame{}, cl.ctxErr(ctx, err)
 	}
 	cl.putBack(pc, false)
 	return resp, nil
+}
+
+// ctxErr prefers the context's cause over the deadline error it induced.
+func (cl *Client) ctxErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
 }
 
 // Do performs a request with retries: transport errors back off
@@ -165,18 +186,37 @@ func (cl *Client) roundTrip(req Frame) (Frame, error) {
 // whole exchange — including backoff waits, what a device experiences —
 // is recorded under op.
 func (cl *Client) Do(op string, req Frame) (Frame, error) {
+	return cl.DoCtx(context.Background(), op, req)
+}
+
+// DoCtx is Do with cancellation: the retry loop is hard-capped at
+// MaxRetries extra attempts, and a cancelled/expired ctx returns promptly
+// — it aborts backoff sleeps, pool waits, dials, and even an exchange
+// blocked mid-read.
+func (cl *Client) DoCtx(ctx context.Context, op string, req Frame) (Frame, error) {
 	start := time.Now()
 	var lastErr error
 	for attempt := 0; attempt <= cl.cfg.MaxRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return Frame{}, fmt.Errorf("fleet: %s cancelled after %d attempts: %w (last error: %v)", op, attempt, err, lastErr)
+			}
+			return Frame{}, err
+		}
 		if attempt > 0 {
 			cl.latMu.Lock()
 			cl.retries++
 			cl.latMu.Unlock()
 		}
-		resp, err := cl.roundTrip(req)
+		resp, err := cl.roundTrip(ctx, req)
 		if err != nil {
 			lastErr = err
-			cl.sleep(cl.backoff(attempt))
+			if ctx.Err() != nil {
+				continue // cancelled: loop exits at the top without sleeping
+			}
+			if err := cl.sleep(ctx, cl.backoff(attempt)); err != nil {
+				continue
+			}
 			continue
 		}
 		switch resp.Type {
@@ -186,7 +226,7 @@ func (cl *Client) Do(op string, req Frame) (Frame, error) {
 				return Frame{}, err
 			}
 			lastErr = fmt.Errorf("fleet: backpressured (retry after %dms)", millis)
-			cl.sleep(time.Duration(millis)*time.Millisecond + cl.jitter(cl.cfg.BackoffBase))
+			_ = cl.sleep(ctx, time.Duration(millis)*time.Millisecond+cl.jitter(cl.cfg.BackoffBase))
 			continue
 		case TErr:
 			return Frame{}, fmt.Errorf("%w: %s", ErrServer, resp.Payload)
@@ -218,7 +258,20 @@ func (cl *Client) jitter(d time.Duration) time.Duration {
 	return j
 }
 
-func (cl *Client) sleep(d time.Duration) { time.Sleep(d) }
+// sleep waits d or until ctx is cancelled, whichever comes first.
+func (cl *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 func (cl *Client) record(op string, d time.Duration) {
 	cl.latMu.Lock()

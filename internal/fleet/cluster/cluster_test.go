@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func threeNodes() []Node {
+	return []Node{
+		{ID: "n0", Addr: "127.0.0.1:7001"},
+		{ID: "n1", Addr: "127.0.0.1:7002"},
+		{ID: "n2", Addr: "127.0.0.1:7003"},
+	}
+}
+
+// TestMapDeterministicAcrossInputOrder: the whole bootstrap story rests on
+// every process computing the same ring from the same node set, whatever
+// order the flag listed them in.
+func TestMapDeterministicAcrossInputOrder(t *testing.T) {
+	a := New(1, threeNodes(), 0)
+	shuffled := []Node{threeNodes()[2], threeNodes()[0], threeNodes()[1]}
+	b := New(1, shuffled, 0)
+	if !bytes.Equal(a.Marshal(), b.Marshal()) {
+		t.Fatal("marshal differs across input order")
+	}
+	for i := 0; i < 1000; i++ {
+		imsi := fmt.Sprintf("310170%09d", i)
+		if a.OwnerID(imsi) != b.OwnerID(imsi) {
+			t.Fatalf("owner of %s differs", imsi)
+		}
+	}
+}
+
+func TestMapMarshalRoundTrip(t *testing.T) {
+	a := New(7, threeNodes(), 32)
+	b, err := Unmarshal(a.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Epoch != 7 || b.Replicas != 32 || len(b.Nodes()) != 3 {
+		t.Fatalf("round trip lost fields: %+v", b)
+	}
+	for i := 0; i < 1000; i++ {
+		imsi := fmt.Sprintf("310170%09d", i)
+		if a.OwnerID(imsi) != b.OwnerID(imsi) {
+			t.Fatalf("owner of %s differs after round trip", imsi)
+		}
+	}
+}
+
+func TestMapUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		New(1, threeNodes(), 0).Marshal()[:15],                     // truncated node entry
+		append(New(1, threeNodes(), 0).Marshal(), 0xFF),            // trailing byte
+		{0, 0, 0, 0, 0, 0, 0, 1, 0, 64, 0, 0},                     // zero nodes
+		append([]byte{0, 0, 0, 0, 0, 0, 0, 1, 0, 64, 0, 1}, 0, 0), // empty id
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("case %d: garbage map accepted", i)
+		}
+	}
+}
+
+// TestConsistentHashingMovesFewKeys: removing one of three nodes must move
+// only the removed node's share — every key owned by a surviving node
+// stays put. That bounded movement is what the handoff protocol pays for.
+func TestConsistentHashingMovesFewKeys(t *testing.T) {
+	full := New(1, threeNodes(), 0)
+	reduced := New(2, threeNodes()[:2], 0)
+	moved, total := 0, 5000
+	for i := 0; i < total; i++ {
+		imsi := fmt.Sprintf("310170%09d", i)
+		was, now := full.OwnerID(imsi), reduced.OwnerID(imsi)
+		if was != now {
+			moved++
+			if was != "n2" {
+				t.Fatalf("%s moved from surviving node %s to %s", imsi, was, now)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved when a node left")
+	}
+	if frac := float64(moved) / float64(total); frac > 0.6 {
+		t.Fatalf("removing 1 of 3 nodes moved %.0f%% of keys", frac*100)
+	}
+}
+
+// TestOwnershipRoughlyBalanced guards the vnode count: no node should own
+// a wildly disproportionate share.
+func TestOwnershipRoughlyBalanced(t *testing.T) {
+	m := New(1, threeNodes(), 0)
+	counts := map[string]int{}
+	const total = 9000
+	for i := 0; i < total; i++ {
+		counts[m.OwnerID(fmt.Sprintf("310170%09d", i))]++
+	}
+	for id, n := range counts {
+		frac := float64(n) / float64(total)
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.0f%% of keys: %v", id, frac*100, counts)
+		}
+	}
+}
+
+func TestParseNodeList(t *testing.T) {
+	nodes, err := ParseNodeList("n1=127.0.0.1:1, n0=127.0.0.1:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("parsed %d nodes", len(nodes))
+	}
+	for _, bad := range []string{"", "x", "=addr", "id=", "a=1,a=2"} {
+		if _, err := ParseNodeList(bad); err == nil {
+			t.Errorf("ParseNodeList(%q) accepted", bad)
+		}
+	}
+}

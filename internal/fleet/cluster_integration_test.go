@@ -1,0 +1,348 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/seed5g/seed/internal/core"
+	"github.com/seed5g/seed/internal/fleet/cluster"
+)
+
+// testCluster is an in-process N-node fleet cluster with per-node durable
+// journals, supporting kill + restart on the same address (the in-process
+// stand-in for SIGKILLing a seedfleetd).
+type testCluster struct {
+	t       *testing.T
+	root    string
+	servers map[string]*Server
+	addrs   map[string]string
+	epoch   uint64
+}
+
+func startCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		t:       t,
+		root:    t.TempDir(),
+		servers: make(map[string]*Server),
+		addrs:   make(map[string]string),
+		epoch:   1,
+	}
+	// Two passes: bind everyone first (addresses are only known after
+	// Start), then install the map covering all of them.
+	var nodes []cluster.Node
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("n%d", i)
+		srv := tc.boot(id, "127.0.0.1:0", nil)
+		tc.servers[id] = srv
+		tc.addrs[id] = srv.Addr().String()
+		nodes = append(nodes, cluster.Node{ID: id, Addr: tc.addrs[id]})
+	}
+	m := cluster.New(tc.epoch, nodes, 0)
+	for _, srv := range tc.servers {
+		srv.SetMap(m)
+	}
+	t.Cleanup(func() {
+		for _, srv := range tc.servers {
+			srv.Kill()
+		}
+	})
+	return tc
+}
+
+func (tc *testCluster) boot(id, addr string, m *cluster.Map) *Server {
+	tc.t.Helper()
+	srv := NewServer(ServerConfig{
+		Addr:       addr,
+		Shards:     2,
+		NodeID:     id,
+		Map:        m,
+		JournalDir: filepath.Join(tc.root, id),
+		Logf:       func(string, ...any) {},
+	})
+	if err := srv.Start(); err != nil {
+		tc.t.Fatal(err)
+	}
+	return srv
+}
+
+func (tc *testCluster) nodes() []cluster.Node {
+	var nodes []cluster.Node
+	for id, addr := range tc.addrs {
+		nodes = append(nodes, cluster.Node{ID: id, Addr: addr})
+	}
+	return nodes
+}
+
+func (tc *testCluster) client() *ClusterClient {
+	tc.t.Helper()
+	cc, err := NewClusterClient(ClusterClientConfig{
+		Nodes: tc.nodes(),
+		Epoch: tc.epoch,
+		Client: ClientConfig{
+			Conns:       2,
+			MaxRetries:  12,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  20 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	tc.t.Cleanup(cc.Close)
+	return cc
+}
+
+// kill hard-stops a node, keeping its journal directory and address.
+func (tc *testCluster) kill(id string) {
+	tc.servers[id].Kill()
+	delete(tc.servers, id)
+}
+
+// restart boots a killed node on its old address over its old journals,
+// re-installing the map epoch the cluster currently runs.
+func (tc *testCluster) restart(id string, m *cluster.Map) {
+	srv := tc.boot(id, tc.addrs[id], nil)
+	srv.SetMap(m)
+	tc.servers[id] = srv
+}
+
+// TestClusterRoutingAndMergedModel uploads across a 3-node cluster and
+// checks the cross-node merged model is byte-identical to the sequential
+// baseline, with every upload landing exactly once.
+func TestClusterRoutingAndMergedModel(t *testing.T) {
+	tc := startCluster(t, 3)
+	cc := tc.client()
+	ctx := context.Background()
+
+	const devices = 60
+	baseline := core.NewLearner(0.1, rand.New(rand.NewSource(1)))
+	for i := 0; i < devices; i++ {
+		recs := deviceRecords(i)
+		baseline.Crowdsource(recs)
+		dev := NewSimDevice(DefaultMasterKey, fmt.Sprintf("00111%010d", i))
+		sealed, err := dev.SealRecords(core.MarshalRecords(recs))
+		if err == nil {
+			err = cc.UploadRecords(ctx, dev.IMSI, sealed)
+		}
+		if err != nil {
+			t.Fatalf("device %d: %v", i, err)
+		}
+	}
+	got, err := cc.FetchClusterModel(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, MarshalModel(baseline.Export())) {
+		t.Fatal("cluster merged model differs from sequential baseline")
+	}
+	// Every node should have seen SOME uploads (ownership spread), and the
+	// totals must account for every device exactly once.
+	stats, errs := cc.FetchStatsAll(ctx)
+	if len(errs) != 0 {
+		t.Fatalf("stats errors: %v", errs)
+	}
+	var total uint64
+	for id, st := range stats {
+		if st.Uploads == 0 {
+			t.Errorf("node %s folded nothing — ownership is degenerate", id)
+		}
+		total += st.Uploads
+	}
+	if total != devices {
+		t.Fatalf("cluster folded %d uploads for %d devices", total, devices)
+	}
+}
+
+// TestClusterWrongShardRedirect gives the client a stale bootstrap map
+// (single node) and checks redirects teach it the real topology.
+func TestClusterWrongShardRedirect(t *testing.T) {
+	tc := startCluster(t, 3)
+	ctx := context.Background()
+
+	// Deliberately wrong bootstrap: the client believes n0 owns everything
+	// (epoch 0 < cluster's epoch 1, so servers' redirects win).
+	cc, err := NewClusterClient(ClusterClientConfig{
+		Nodes: []cluster.Node{{ID: "n0", Addr: tc.addrs["n0"]}},
+		Epoch: 0,
+		Client: ClientConfig{
+			Conns:       2,
+			MaxRetries:  4,
+			BackoffBase: time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	for i := 0; i < 30; i++ {
+		dev := NewSimDevice(DefaultMasterKey, fmt.Sprintf("00112%010d", i))
+		sealed, _ := dev.SealRecords(core.MarshalRecords(deviceRecords(i)))
+		if err := cc.UploadRecords(ctx, dev.IMSI, sealed); err != nil {
+			t.Fatalf("device %d through stale map: %v", i, err)
+		}
+	}
+	if cc.Map().Epoch != tc.epoch {
+		t.Fatalf("client never adopted the redirect map: epoch %d", cc.Map().Epoch)
+	}
+	// At least one request must actually have been redirected.
+	var redirects uint64
+	for _, srv := range tc.servers {
+		redirects += srv.Stats().WrongShard
+	}
+	if redirects == 0 {
+		t.Fatal("stale map produced zero redirects — test proved nothing")
+	}
+}
+
+// TestClusterKillRestartExactlyOnce kills one node mid-campaign, restarts
+// it over its journals, retries every pre-kill upload verbatim, and
+// requires the final merged model to equal the baseline — acked work
+// survived, retried work deduped.
+func TestClusterKillRestartExactlyOnce(t *testing.T) {
+	tc := startCluster(t, 3)
+	cc := tc.client()
+	ctx := context.Background()
+
+	type sent struct {
+		imsi   string
+		sealed []byte
+	}
+	const devices = 45
+	baseline := core.NewLearner(0.1, rand.New(rand.NewSource(1)))
+	var all []sent
+	for i := 0; i < devices; i++ {
+		recs := deviceRecords(i)
+		baseline.Crowdsource(recs)
+		dev := NewSimDevice(DefaultMasterKey, fmt.Sprintf("00113%010d", i))
+		sealed, err := dev.SealRecords(core.MarshalRecords(recs))
+		if err == nil {
+			err = cc.UploadRecords(ctx, dev.IMSI, sealed)
+		}
+		if err != nil {
+			t.Fatalf("device %d: %v", i, err)
+		}
+		all = append(all, sent{dev.IMSI, sealed})
+	}
+
+	tc.kill("n1")
+	tc.restart("n1", cc.Map())
+
+	// Retry EVERY upload as a paranoid client would after losing its
+	// connection: duplicates everywhere, double-folds nowhere.
+	for i, s := range all {
+		if err := cc.UploadRecords(ctx, s.imsi, s.sealed); err != nil {
+			t.Fatalf("post-restart retry %d: %v", i, err)
+		}
+	}
+	got, err := cc.FetchClusterModel(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, MarshalModel(baseline.Export())) {
+		t.Fatal("model diverged across kill+restart+retry")
+	}
+	if st := tc.servers["n1"].Stats(); st.ReplayedRecords == 0 {
+		t.Fatal("restarted node replayed nothing — kill happened after a compaction covered everything?")
+	}
+}
+
+// TestClusterRebalanceExactlyOnce drains a node out (epoch 2), uploads
+// more, brings it back (epoch 3), retries everything, and checks the
+// merged model still equals the baseline: the counter handoff preserved
+// dedup across ownership moves in both directions.
+func TestClusterRebalanceExactlyOnce(t *testing.T) {
+	tc := startCluster(t, 3)
+	cc := tc.client()
+	ctx := context.Background()
+
+	type sent struct {
+		imsi   string
+		sealed []byte
+	}
+	baseline := core.NewLearner(0.1, rand.New(rand.NewSource(1)))
+	var all []sent
+	upload := func(i int) {
+		recs := deviceRecords(i)
+		baseline.Crowdsource(recs)
+		dev := NewSimDevice(DefaultMasterKey, fmt.Sprintf("00114%010d", i))
+		sealed, err := dev.SealRecords(core.MarshalRecords(recs))
+		if err == nil {
+			err = cc.UploadRecords(ctx, dev.IMSI, sealed)
+		}
+		if err != nil {
+			t.Fatalf("device %d: %v", i, err)
+		}
+		all = append(all, sent{dev.IMSI, sealed})
+	}
+	for i := 0; i < 30; i++ {
+		upload(i)
+	}
+
+	// Epoch 2: n2 leaves; its subscribers move to n0/n1 with their counters.
+	survivors := []cluster.Node{
+		{ID: "n0", Addr: tc.addrs["n0"]},
+		{ID: "n1", Addr: tc.addrs["n1"]},
+	}
+	if err := cc.Rebalance(ctx, cluster.New(2, survivors, 0)); err != nil {
+		t.Fatalf("rebalance out: %v", err)
+	}
+	for i := 30; i < 60; i++ {
+		upload(i)
+	}
+	// Retrying pre-rebalance uploads now lands on NEW owners, which must
+	// recognize them as duplicates via the handed-off counters.
+	for i, s := range all[:30] {
+		if err := cc.UploadRecords(ctx, s.imsi, s.sealed); err != nil {
+			t.Fatalf("post-move retry %d: %v", i, err)
+		}
+	}
+
+	// Epoch 3: n2 rejoins and takes its keyspace back.
+	if err := cc.Rebalance(ctx, cluster.New(3, tc.nodes(), 0)); err != nil {
+		t.Fatalf("rebalance back: %v", err)
+	}
+	for i := 60; i < 75; i++ {
+		upload(i)
+	}
+	for i, s := range all {
+		if err := cc.UploadRecords(ctx, s.imsi, s.sealed); err != nil {
+			t.Fatalf("final retry %d: %v", i, err)
+		}
+	}
+
+	got, err := cc.FetchClusterModel(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, MarshalModel(baseline.Export())) {
+		t.Fatal("model diverged across rebalances — counter handoff leaked a double fold")
+	}
+	for _, srv := range tc.servers {
+		if srv.Epoch() != 3 {
+			t.Fatalf("node stuck at epoch %d", srv.Epoch())
+		}
+	}
+}
+
+// TestClusterCommitWithoutPrepareRejected: commit of an unknown epoch is
+// an error; commit of the active epoch is an idempotent ack.
+func TestClusterCommitWithoutPrepareRejected(t *testing.T) {
+	tc := startCluster(t, 2)
+	cl := NewClient(ClientConfig{Addr: tc.addrs["n0"], Conns: 1})
+	defer cl.Close()
+
+	if _, err := cl.Do("commit", Frame{Type: TMapCommit, Payload: EpochPayload(99)}); err == nil {
+		t.Fatal("commit of unprepared epoch accepted")
+	}
+	resp, err := cl.Do("commit", Frame{Type: TMapCommit, Payload: EpochPayload(tc.epoch)})
+	if err != nil || resp.Type != TAck {
+		t.Fatalf("idempotent commit of active epoch: resp=%v err=%v", resp.Type, err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"github.com/seed5g/seed/internal/cause"
 	"github.com/seed5g/seed/internal/core"
@@ -38,6 +39,21 @@ const (
 	TModelPull FrameType = 0x04
 	// TStatsPull requests server counters as JSON (admin).
 	TStatsPull FrameType = 0x05
+	// TMapPull requests the node's current cluster shard map (admin).
+	TMapPull FrameType = 0x06
+	// TMapPrepare proposes the next-epoch shard map (rebalance phase 1):
+	// the payload is cluster.Map bytes. The node freezes moved-out IMSIs
+	// and answers TPrepared with their envelope counters.
+	TMapPrepare FrameType = 0x07
+	// TCounterInstall hands moved-in envelope counters to a new owner
+	// (rebalance phase 2): the payload is a counter table. The install is
+	// journaled before the TAck, so a crashed new owner still dedups
+	// pre-move uploads after replay.
+	TCounterInstall FrameType = 0x08
+	// TMapCommit activates a prepared map (rebalance phase 3): the payload
+	// is the epoch (8 bytes, BE). Committing an already-active epoch is an
+	// idempotent TAck, so the controller can retry.
+	TMapCommit FrameType = 0x09
 
 	// TAck acknowledges an upload or report: the payload is folded.
 	TAck FrameType = 0x81
@@ -51,6 +67,14 @@ const (
 	TModel FrameType = 0x84
 	// TStats answers a TStatsPull with JSON counters.
 	TStats FrameType = 0x85
+	// TMap answers a TMapPull with the node's current cluster.Map bytes.
+	TMap FrameType = 0x86
+	// TPrepared answers a TMapPrepare with the moved-out counter table.
+	TPrepared FrameType = 0x87
+	// TWrongShard redirects a request for an IMSI this node does not own;
+	// the payload is the node's current cluster.Map bytes so the client
+	// can refresh its routing and retry the real owner.
+	TWrongShard FrameType = 0x88
 	// TErr reports a request failure; the payload is the message.
 	TErr FrameType = 0xFF
 )
@@ -67,6 +91,14 @@ func (t FrameType) String() string {
 		return "model-pull"
 	case TStatsPull:
 		return "stats-pull"
+	case TMapPull:
+		return "map-pull"
+	case TMapPrepare:
+		return "map-prepare"
+	case TCounterInstall:
+		return "counter-install"
+	case TMapCommit:
+		return "map-commit"
 	case TAck:
 		return "ack"
 	case TRetryAfter:
@@ -77,6 +109,12 @@ func (t FrameType) String() string {
 		return "model"
 	case TStats:
 		return "stats"
+	case TMap:
+		return "map"
+	case TPrepared:
+		return "prepared"
+	case TWrongShard:
+		return "wrong-shard"
 	case TErr:
 		return "err"
 	default:
@@ -226,6 +264,79 @@ func ParseRetryAfter(p []byte) (uint32, error) {
 		return 0, fmt.Errorf("fleet: retry-after payload length %d, want 4", len(p))
 	}
 	return binary.BigEndian.Uint32(p), nil
+}
+
+// CounterEntry is one subscriber's envelope counter state: the entire
+// mutable half of the sealed channel (the key is re-derived from the
+// master key). Counter tables ride in TPrepared/TCounterInstall frames
+// during rebalance handoff and in jInstall journal records.
+type CounterEntry struct {
+	IMSI string
+	// Send and Recv are indexed by crypto5g.Direction (Uplink=0, Downlink=1).
+	Send, Recv [2]uint32
+}
+
+// AppendCounterTable encodes entries as n(4, BE) then, per entry,
+// imsiLen(1) | imsi | sendUp(4) sendDn(4) recvUp(4) recvDn(4). Entries
+// are sorted by IMSI so equal tables produce equal bytes.
+func AppendCounterTable(dst []byte, entries []CounterEntry) []byte {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].IMSI < entries[j].IMSI })
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(entries)))
+	for _, e := range entries {
+		dst = append(dst, byte(len(e.IMSI)))
+		dst = append(dst, e.IMSI...)
+		for _, c := range [4]uint32{e.Send[0], e.Send[1], e.Recv[0], e.Recv[1]} {
+			dst = binary.BigEndian.AppendUint32(dst, c)
+		}
+	}
+	return dst
+}
+
+// ParseCounterTable decodes an encoded counter table.
+func ParseCounterTable(p []byte) ([]CounterEntry, error) {
+	if len(p) < 4 {
+		return nil, errors.New("fleet: counter table too short")
+	}
+	n := int(binary.BigEndian.Uint32(p))
+	p = p[4:]
+	entries := make([]CounterEntry, 0, n)
+	for i := 0; i < n; i++ {
+		if len(p) < 1 {
+			return nil, fmt.Errorf("fleet: counter table truncated at entry %d", i)
+		}
+		l := int(p[0])
+		if l == 0 || l > MaxIMSILen {
+			return nil, fmt.Errorf("fleet: counter table entry %d: bad IMSI length %d", i, l)
+		}
+		if len(p) < 1+l+16 {
+			return nil, fmt.Errorf("fleet: counter table truncated at entry %d", i)
+		}
+		e := CounterEntry{IMSI: string(p[1 : 1+l])}
+		c := p[1+l:]
+		e.Send[0] = binary.BigEndian.Uint32(c[0:4])
+		e.Send[1] = binary.BigEndian.Uint32(c[4:8])
+		e.Recv[0] = binary.BigEndian.Uint32(c[8:12])
+		e.Recv[1] = binary.BigEndian.Uint32(c[12:16])
+		entries = append(entries, e)
+		p = p[1+l+16:]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("fleet: %d trailing bytes after counter table", len(p))
+	}
+	return entries, nil
+}
+
+// EpochPayload encodes a TMapCommit epoch.
+func EpochPayload(epoch uint64) []byte {
+	return binary.BigEndian.AppendUint64(nil, epoch)
+}
+
+// ParseEpoch decodes a TMapCommit payload.
+func ParseEpoch(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("fleet: epoch payload length %d, want 8", len(p))
+	}
+	return binary.BigEndian.Uint64(p), nil
 }
 
 // SuggestPayload converts a learner decision into the TSuggest plaintext:

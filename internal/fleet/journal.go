@@ -1,0 +1,511 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/seed5g/seed/internal/cause"
+	"github.com/seed5g/seed/internal/core"
+	"github.com/seed5g/seed/internal/crypto5g"
+)
+
+// The durable tier. Each aggregation shard owns an append-only journal of
+// the sealed envelopes it acknowledged plus a compaction snapshot:
+//
+//	journal record:  len(4, BE) | crc32(4, BE, IEEE over payload) | payload
+//	payload:         seq(8, BE) | kind(1) | imsiLen(1) | imsi | body
+//
+// Kinds: jUpload/jReport carry the exact sealed wire bytes; jInstall
+// carries a rebalance counter table (empty IMSI field). The shard worker
+// group-commits: it drains a batch from its queue, folds each job,
+// appends every new record, fsyncs ONCE, and only then releases the
+// acks — so an acknowledged upload is durable by definition, and the
+// fsync cost amortizes across the batch under load.
+//
+// Replay re-opens the sealed bytes through freshly derived subscriber
+// envelopes, which restores both the model and the envelope receive
+// counters. The counters are the dedup state, so a client retrying an
+// upload that was acked just before the crash gets ErrReplay → duplicate
+// ack, never a second fold: at-least-once delivery stays an exactly-once
+// fold across SIGKILL.
+//
+//	snapshot file:   magic "SEEDSHD1" | seq(8) | nEnv(4) |
+//	                 nEnv × (imsiLen(1) imsi sendUp(4) sendDn(4)
+//	                         recvUp(4) recvDn(4)) |
+//	                 modelLen(4) | model | crc32(4, over all prior bytes)
+//
+// Compaction writes the snapshot (tmp + rename + sync) and then truncates
+// the journal. Sequence numbers never reset, and replay skips records
+// with seq <= snapshot seq, so a crash BETWEEN the rename and the
+// truncate — snapshot present, journal still full — replays to the
+// identical model instead of double-folding.
+//
+// Recovery failure policy: a record torn at the very tail of the journal
+// is the signature of dying mid-append before the fsync returned — it was
+// never acked, so it is truncated away and recovery proceeds. Anything
+// else (a CRC-corrupt complete record, a corrupt snapshot, a journal
+// shorter than its snapshot's seq implies) is data damage and refuses
+// startup with a descriptive error; ForceEmpty moves the damaged files
+// aside and starts empty instead, but only when asked explicitly.
+
+const (
+	jUpload  byte = 1
+	jReport  byte = 2
+	jInstall byte = 3
+
+	journalHeaderLen = 8
+	// maxJournalBatch bounds one group commit (and therefore ack latency
+	// under sustained load).
+	maxJournalBatch = 64
+
+	// downlinkRecoverySkip is added to every recovered envelope's downlink
+	// send counter after an unclean restart. Suggestion seals between the
+	// last compaction and the crash are not journaled (they carry no model
+	// state), so the restarted node could otherwise re-issue counters a
+	// device has already accepted. The skip jumps past any plausible
+	// number of un-snapshotted seals; suggestions stay best-effort, but
+	// never silently replay a counter.
+	downlinkRecoverySkip = 1 << 20
+
+	shardSnapMagic = "SEEDSHD1"
+)
+
+func journalPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d.journal", shard))
+}
+
+func snapshotPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%d.snap", shard))
+}
+
+// journalRec is one decoded journal record.
+type journalRec struct {
+	seq  uint64
+	kind byte
+	imsi string
+	body []byte
+}
+
+// journal is an open, append-position journal file.
+type journal struct {
+	f    *os.File
+	path string
+	size int64
+	// nextSeq is the sequence the next appended record receives. It is
+	// monotonic for the life of the shard directory — compaction truncates
+	// the file but never resets the sequence.
+	nextSeq uint64
+	buf     []byte // encode scratch, reused across batches
+}
+
+func appendJournalRecord(dst []byte, r journalRec) []byte {
+	payloadLen := 8 + 1 + 1 + len(r.imsi) + len(r.body)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(payloadLen))
+	crcAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // crc placeholder
+	payloadAt := len(dst)
+	dst = binary.BigEndian.AppendUint64(dst, r.seq)
+	dst = append(dst, r.kind, byte(len(r.imsi)))
+	dst = append(dst, r.imsi...)
+	dst = append(dst, r.body...)
+	binary.BigEndian.PutUint32(dst[crcAt:], crc32.ChecksumIEEE(dst[payloadAt:]))
+	return dst
+}
+
+func parseJournalPayload(p []byte) (journalRec, error) {
+	if len(p) < 10 {
+		return journalRec{}, fmt.Errorf("fleet: journal payload %d bytes, want >= 10", len(p))
+	}
+	r := journalRec{seq: binary.BigEndian.Uint64(p[:8]), kind: p[8]}
+	il := int(p[9])
+	if len(p) < 10+il {
+		return journalRec{}, fmt.Errorf("fleet: journal payload truncated: IMSI needs %d bytes", il)
+	}
+	r.imsi = string(p[10 : 10+il])
+	r.body = p[10+il:]
+	return r, nil
+}
+
+// errJournalCorrupt marks unrecoverable journal or snapshot damage (as
+// opposed to a benign torn tail).
+var errJournalCorrupt = errors.New("fleet: durable state corrupt")
+
+// scanJournal reads every intact record of a journal file. A record torn
+// at the tail (header or body running past EOF) is reported via torn and
+// goodLen marks where the intact prefix ends; a CRC mismatch on a
+// complete record is an errJournalCorrupt.
+func scanJournal(path string, maxRec uint32) (recs []journalRec, goodLen int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, err
+	}
+	off := int64(0)
+	for int(off) < len(data) {
+		rest := data[off:]
+		if len(rest) < journalHeaderLen {
+			return recs, off, true, nil // torn header at tail
+		}
+		n := binary.BigEndian.Uint32(rest[0:4])
+		if n > maxRec {
+			// A length beyond any legal record is garbage; if nothing
+			// readable follows it is indistinguishable from a torn append,
+			// otherwise the file is damaged mid-way.
+			if int64(len(data))-off <= int64(journalHeaderLen)+int64(n) {
+				return recs, off, true, nil
+			}
+			return nil, 0, false, fmt.Errorf("%w: %s: record at offset %d claims %d bytes (max %d)",
+				errJournalCorrupt, path, off, n, maxRec)
+		}
+		if int64(len(rest)) < int64(journalHeaderLen)+int64(n) {
+			return recs, off, true, nil // torn body at tail
+		}
+		payload := rest[journalHeaderLen : journalHeaderLen+int(n)]
+		if crc := binary.BigEndian.Uint32(rest[4:8]); crc != crc32.ChecksumIEEE(payload) {
+			return nil, 0, false, fmt.Errorf("%w: %s: CRC mismatch on record at offset %d",
+				errJournalCorrupt, path, off)
+		}
+		r, err := parseJournalPayload(payload)
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("%w: %s: offset %d: %v", errJournalCorrupt, path, off, err)
+		}
+		recs = append(recs, r)
+		off += int64(journalHeaderLen) + int64(n)
+	}
+	return recs, off, false, nil
+}
+
+// openJournalAppend opens (creating if needed) a journal for appending at
+// goodLen, truncating any torn tail left by a crash mid-append.
+func openJournalAppend(path string, goodLen int64, nextSeq uint64) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(goodLen); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(goodLen, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return &journal{f: f, path: path, size: goodLen, nextSeq: nextSeq}, nil
+}
+
+// append encodes and writes records in one Write. Durability requires a
+// following sync() before anything is acknowledged.
+func (j *journal) append(recs []journalRec) error {
+	j.buf = j.buf[:0]
+	for _, r := range recs {
+		j.buf = appendJournalRecord(j.buf, r)
+	}
+	n, err := j.f.Write(j.buf)
+	j.size += int64(n)
+	return err
+}
+
+func (j *journal) sync() error { return j.f.Sync() }
+
+// reset truncates the journal after a compaction snapshot landed. The
+// sequence keeps counting — replay relies on seq to order journal records
+// relative to the snapshot.
+func (j *journal) reset() error {
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	j.size = 0
+	return j.f.Sync()
+}
+
+func (j *journal) close() error { return j.f.Close() }
+
+// --- shard snapshot ------------------------------------------------------
+
+// writeShardSnapshot atomically persists a shard's full durable state:
+// every envelope's counters and the canonical model, covering all journal
+// records with seq <= seq.
+func writeShardSnapshot(dir string, shard int, seq uint64, entries []CounterEntry, model []byte) error {
+	body := []byte(shardSnapMagic)
+	body = binary.BigEndian.AppendUint64(body, seq)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(entries)))
+	// AppendCounterTable would re-add its own count prefix; entries are
+	// already sorted by the caller's map walk order, so sort here.
+	table := AppendCounterTable(nil, entries)
+	body = append(body, table[4:]...) // drop the table's own count
+	body = binary.BigEndian.AppendUint32(body, uint32(len(model)))
+	body = append(body, model...)
+	body = binary.BigEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+
+	path := snapshotPath(dir, shard)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(body); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readShardSnapshot loads a shard snapshot. A missing file returns ok ==
+// false with no error; any damage is errJournalCorrupt.
+func readShardSnapshot(dir string, shard int) (seq uint64, entries []CounterEntry, model []byte, ok bool, err error) {
+	path := snapshotPath(dir, shard)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil, nil, false, nil
+	}
+	if err != nil {
+		return 0, nil, nil, false, err
+	}
+	fail := func(msg string) (uint64, []CounterEntry, []byte, bool, error) {
+		return 0, nil, nil, false, fmt.Errorf("%w: snapshot %s: %s", errJournalCorrupt, path, msg)
+	}
+	if len(data) < len(shardSnapMagic)+8+4+4+4 {
+		return fail("truncated")
+	}
+	if string(data[:len(shardSnapMagic)]) != shardSnapMagic {
+		return fail("bad magic")
+	}
+	crcAt := len(data) - 4
+	if binary.BigEndian.Uint32(data[crcAt:]) != crc32.ChecksumIEEE(data[:crcAt]) {
+		return fail("CRC mismatch")
+	}
+	p := data[len(shardSnapMagic):crcAt]
+	seq = binary.BigEndian.Uint64(p[:8])
+	nEnv := binary.BigEndian.Uint32(p[8:12])
+	rest := p[12:]
+	// The counter table is variable length: walk the entries to find
+	// where the model begins, then hand the table to the shared parser
+	// (re-prefixing the count it expects).
+	off := 0
+	for i := uint32(0); i < nEnv; i++ {
+		if off >= len(rest) {
+			return fail("counter table truncated")
+		}
+		il := int(rest[off])
+		if il == 0 || il > MaxIMSILen || off+1+il+16 > len(rest) {
+			return fail("counter table entry damaged")
+		}
+		off += 1 + il + 16
+	}
+	if off+4 > len(rest) {
+		return fail("model length missing")
+	}
+	entries, perr := ParseCounterTable(append(binary.BigEndian.AppendUint32(nil, nEnv), rest[:off]...))
+	if perr != nil {
+		return fail(perr.Error())
+	}
+	mLen := binary.BigEndian.Uint32(rest[off : off+4])
+	if int(mLen) != len(rest)-off-4 {
+		return fail("model length mismatch")
+	}
+	model = rest[off+4:]
+	if len(model)%modelRowLen != 0 {
+		return fail("model not row-aligned")
+	}
+	return seq, entries, model, true, nil
+}
+
+// --- recovery ------------------------------------------------------------
+
+// shardRecovery is the reconstructed durable state of one shard.
+type shardRecovery struct {
+	Model    map[cause.Cause]map[core.ActionID]int
+	Envs     map[string]*crypto5g.Envelope
+	NextSeq  uint64
+	GoodLen  int64 // intact journal prefix length (append resumes here)
+	Replayed int   // journal records applied past the snapshot
+	Skipped  int   // journal records deduped (seq or counter already covered)
+	TornTail bool  // a torn final record was truncated
+	SnapSeq  uint64
+}
+
+// quarantine moves a damaged durable file aside (ForceEmpty path) so the
+// evidence survives while the node starts empty.
+func quarantine(path string, logf func(string, ...any)) {
+	if _, err := os.Stat(path); err != nil {
+		return
+	}
+	dst := path + ".corrupt"
+	if err := os.Rename(path, dst); err != nil {
+		logf("seedfleetd: quarantine %s: %v", path, err)
+		return
+	}
+	logf("seedfleetd: quarantined damaged file as %s", dst)
+}
+
+// recoverShard rebuilds a shard's model and envelope state from its
+// snapshot and journal. Damage refuses recovery unless forceEmpty, which
+// quarantines the damaged files and returns the state recovered so far
+// (empty in the worst case) — never a silently wrong model.
+func recoverShard(dir string, shard int, master [16]byte, maxRec uint32, forceEmpty bool, logf func(string, ...any)) (*shardRecovery, error) {
+	rec := &shardRecovery{
+		Model: make(map[cause.Cause]map[core.ActionID]int),
+		Envs:  make(map[string]*crypto5g.Envelope),
+	}
+	env := func(imsi string) *crypto5g.Envelope {
+		e, ok := rec.Envs[imsi]
+		if !ok {
+			e = NewSubscriberEnvelope(master, imsi)
+			rec.Envs[imsi] = e
+		}
+		return e
+	}
+
+	snapSeq, entries, model, haveSnap, err := readShardSnapshot(dir, shard)
+	if err != nil {
+		if !forceEmpty {
+			return nil, fmt.Errorf("shard %d: %w (use -force-empty to quarantine and start empty)", shard, err)
+		}
+		logf("seedfleetd: shard %d: %v — starting empty by -force-empty", shard, err)
+		quarantine(snapshotPath(dir, shard), logf)
+		haveSnap = false
+	}
+	if haveSnap {
+		m, err := UnmarshalModel(model)
+		if err != nil {
+			if !forceEmpty {
+				return nil, fmt.Errorf("shard %d snapshot model: %w", shard, err)
+			}
+			quarantine(snapshotPath(dir, shard), logf)
+		} else {
+			rec.Model = MergeModels(rec.Model, m)
+			for _, e := range entries {
+				env(e.IMSI).SetCounters(e.Send, e.Recv)
+			}
+			rec.SnapSeq = snapSeq
+		}
+	}
+
+	jPath := journalPath(dir, shard)
+	recs, goodLen, torn, err := scanJournal(jPath, maxRec)
+	if err != nil {
+		if !forceEmpty {
+			return nil, fmt.Errorf("shard %d: %w (use -force-empty to quarantine and start empty)", shard, err)
+		}
+		logf("seedfleetd: shard %d: %v — starting empty by -force-empty", shard, err)
+		quarantine(jPath, logf)
+		recs, goodLen, torn = nil, 0, false
+		// The snapshot may predate the damage; keep what it restored.
+	}
+	rec.TornTail = torn
+
+	maxSeq := rec.SnapSeq
+	for _, r := range recs {
+		if r.seq > maxSeq {
+			maxSeq = r.seq
+		}
+		if r.seq <= rec.SnapSeq {
+			rec.Skipped++
+			continue
+		}
+		switch r.kind {
+		case jUpload, jReport:
+			blob, err := env(r.imsi).Open(crypto5g.Uplink, r.body)
+			if err != nil {
+				if errors.Is(err, crypto5g.ErrReplay) {
+					rec.Skipped++ // already covered by snapshot counters
+					continue
+				}
+				// The CRC passed but the envelope does not open: key
+				// mismatch or deeper damage. Never guess.
+				if !forceEmpty {
+					return nil, fmt.Errorf("shard %d: %w: journal seq %d (%s from %s) does not open: %v (use -force-empty to quarantine and start empty)",
+						shard, errJournalCorrupt, r.seq, kindName(r.kind), r.imsi, err)
+				}
+				logf("seedfleetd: shard %d: journal seq %d unopenable (%v) — dropped by -force-empty", shard, r.seq, err)
+				continue
+			}
+			if r.kind == jUpload {
+				rows, err := core.UnmarshalRecords(blob)
+				if err != nil {
+					if !forceEmpty {
+						return nil, fmt.Errorf("shard %d: %w: journal seq %d: bad record blob: %v", shard, errJournalCorrupt, r.seq, err)
+					}
+					continue
+				}
+				rec.Model = MergeModels(rec.Model, rows)
+			}
+			rec.Replayed++
+		case jInstall:
+			entries, err := ParseCounterTable(r.body)
+			if err != nil {
+				if !forceEmpty {
+					return nil, fmt.Errorf("shard %d: %w: journal seq %d: bad counter table: %v", shard, errJournalCorrupt, r.seq, err)
+				}
+				continue
+			}
+			for _, e := range entries {
+				installCounters(env(e.IMSI), e)
+			}
+			rec.Replayed++
+		default:
+			if !forceEmpty {
+				return nil, fmt.Errorf("shard %d: %w: journal seq %d has unknown kind %d", shard, errJournalCorrupt, r.seq, r.kind)
+			}
+		}
+	}
+	rec.NextSeq = maxSeq + 1
+	rec.GoodLen = goodLen
+
+	// Unclean restart: suggestion seals since the snapshot were not
+	// journaled, so jump every recovered downlink send counter past them.
+	if rec.Replayed > 0 || rec.TornTail {
+		for _, e := range rec.Envs {
+			send, recv := e.Counters()
+			send[crypto5g.Downlink] += downlinkRecoverySkip
+			e.SetCounters(send, recv)
+		}
+	}
+	return rec, nil
+}
+
+func kindName(k byte) string {
+	switch k {
+	case jUpload:
+		return "upload"
+	case jReport:
+		return "report"
+	case jInstall:
+		return "counter-install"
+	default:
+		return fmt.Sprintf("kind(%d)", k)
+	}
+}
+
+// installCounters raises an envelope's counters to at least the handed-off
+// values. Max semantics make journal replay of an install idempotent and
+// never reopen a replay window.
+func installCounters(e *crypto5g.Envelope, ent CounterEntry) {
+	send, recv := e.Counters()
+	for d := 0; d < 2; d++ {
+		if ent.Send[d] > send[d] {
+			send[d] = ent.Send[d]
+		}
+		if ent.Recv[d] > recv[d] {
+			recv[d] = ent.Recv[d]
+		}
+	}
+	e.SetCounters(send, recv)
+}

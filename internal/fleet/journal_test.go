@@ -1,0 +1,429 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/seed5g/seed/internal/core"
+	"github.com/seed5g/seed/internal/crypto5g"
+)
+
+// startJournalServer runs a quiet durable server; unlike startServer the
+// caller controls shutdown (crash tests Kill() explicitly).
+func startJournalServer(t *testing.T, cfg ServerConfig) (*Server, *Client) {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	srv := NewServer(cfg)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return srv, NewClient(ClientConfig{Addr: srv.Addr().String(), Conns: 2})
+}
+
+// TestJournalKillRecoversExactModelAndDedup is the core durability claim:
+// SIGKILL the server (no drain, no snapshot), restart on the same journal
+// dir, and the model is byte-identical — and a client retrying the very
+// uploads that were acked pre-crash gets duplicate acks, not double folds.
+func TestJournalKillRecoversExactModelAndDedup(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ServerConfig{Shards: 3, JournalDir: dir}
+	srv1, cl1 := startJournalServer(t, cfg)
+
+	const devices = 30
+	baseline := core.NewLearner(0.1, rand.New(rand.NewSource(1)))
+	type sent struct {
+		imsi   string
+		sealed []byte
+	}
+	var sentAll []sent
+	for i := 0; i < devices; i++ {
+		recs := deviceRecords(i)
+		baseline.Crowdsource(recs)
+		dev := NewSimDevice(DefaultMasterKey, fmt.Sprintf("00103%010d", i))
+		sealed, err := dev.SealRecords(core.MarshalRecords(recs))
+		if err == nil {
+			err = cl1.UploadRecords(dev.IMSI, sealed)
+		}
+		if err != nil {
+			t.Fatalf("device %d: %v", i, err)
+		}
+		sentAll = append(sentAll, sent{dev.IMSI, sealed})
+	}
+	model1, err := cl1.FetchModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl1.Close()
+	srv1.Kill() // no drain snapshot — recovery must come from the journal
+
+	srv2, cl2 := startJournalServer(t, cfg)
+	defer func() { cl2.Close(); _ = srv2.Shutdown() }()
+	if !bytes.Equal(srv2.Model(), model1) {
+		t.Fatal("post-crash model differs from pre-crash model")
+	}
+	if !bytes.Equal(srv2.Model(), MarshalModel(baseline.Export())) {
+		t.Fatal("post-crash model differs from sequential baseline")
+	}
+
+	// Retry every pre-crash upload verbatim: all must dedup.
+	for _, s := range sentAll {
+		if err := cl2.UploadRecords(s.imsi, s.sealed); err != nil {
+			t.Fatalf("post-crash retry for %s: %v", s.imsi, err)
+		}
+	}
+	if !bytes.Equal(srv2.Model(), model1) {
+		t.Fatal("post-crash retries changed the model (dedup state lost)")
+	}
+	st := srv2.Stats()
+	if st.Duplicates != devices {
+		t.Fatalf("want %d duplicates, got %d", devices, st.Duplicates)
+	}
+	if st.ReplayedRecords == 0 {
+		t.Fatal("recovery replayed nothing — the test exercised no journal path")
+	}
+}
+
+// TestJournalReplayIdempotent recovers the same shard directory twice and
+// requires bit-identical state both times — replay must be a pure
+// function of the files.
+func TestJournalReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ServerConfig{Shards: 2, JournalDir: dir}
+	srv, cl := startJournalServer(t, cfg)
+	for i := 0; i < 20; i++ {
+		dev := NewSimDevice(DefaultMasterKey, fmt.Sprintf("00104%010d", i))
+		sealed, _ := dev.SealRecords(core.MarshalRecords(deviceRecords(i)))
+		if err := cl.UploadRecords(dev.IMSI, sealed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Close()
+	srv.Kill()
+
+	snapshotState := func() (string, string) {
+		var model, counters strings.Builder
+		for shard := 0; shard < cfg.Shards; shard++ {
+			rec, err := recoverShard(dir, shard, DefaultMasterKey, DefaultMaxFrame, false, func(string, ...any) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			model.Write(MarshalModel(rec.Model))
+			var imsis []string
+			for imsi := range rec.Envs {
+				imsis = append(imsis, imsi)
+			}
+			sort.Strings(imsis)
+			for _, imsi := range imsis {
+				send, recv := rec.Envs[imsi].Counters()
+				fmt.Fprintf(&counters, "%s:%v:%v;", imsi, send, recv)
+			}
+		}
+		return model.String(), counters.String()
+	}
+	m1, c1 := snapshotState()
+	m2, c2 := snapshotState()
+	if m1 != m2 {
+		t.Fatal("two replays of the same journal produced different models")
+	}
+	if c1 != c2 {
+		t.Fatal("two replays of the same journal produced different counters")
+	}
+}
+
+// TestJournalCrashMidCompaction simulates dying between the snapshot
+// rename and the journal truncate: both files cover the same records.
+// Replay must skip the snapshot-covered records instead of double-folding.
+func TestJournalCrashMidCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ServerConfig{Shards: 1, JournalDir: dir}
+	srv, cl := startJournalServer(t, cfg)
+	baseline := core.NewLearner(0.1, rand.New(rand.NewSource(1)))
+	for i := 0; i < 12; i++ {
+		recs := deviceRecords(i)
+		baseline.Crowdsource(recs)
+		dev := NewSimDevice(DefaultMasterKey, fmt.Sprintf("00105%010d", i))
+		sealed, _ := dev.SealRecords(core.MarshalRecords(recs))
+		if err := cl.UploadRecords(dev.IMSI, sealed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Close()
+
+	// Write the compaction snapshot by hand — covering every journaled
+	// record — but "crash" before the truncate: the journal keeps them all.
+	sh := srv.shards[0]
+	var entries []CounterEntry
+	for imsi, e := range sh.envs {
+		send, recv := e.Counters()
+		entries = append(entries, CounterEntry{IMSI: imsi, Send: send, Recv: recv})
+	}
+	model := MarshalModel(sh.learner.Export())
+	if err := writeShardSnapshot(dir, 0, sh.jr.nextSeq-1, entries, model); err != nil {
+		t.Fatal(err)
+	}
+	srv.Kill()
+
+	rec, err := recoverShard(dir, 0, DefaultMasterKey, DefaultMaxFrame, false, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Replayed != 0 || rec.Skipped == 0 {
+		t.Fatalf("snapshot-covered records were not skipped: replayed=%d skipped=%d", rec.Replayed, rec.Skipped)
+	}
+	if !bytes.Equal(MarshalModel(rec.Model), MarshalModel(baseline.Export())) {
+		t.Fatal("crash mid-compaction double-folded or lost records")
+	}
+
+	// A full server restart over the same state must also come up clean.
+	srv2, cl2 := startJournalServer(t, cfg)
+	defer func() { cl2.Close(); _ = srv2.Shutdown() }()
+	if !bytes.Equal(srv2.Model(), MarshalModel(baseline.Export())) {
+		t.Fatal("restarted server model differs after crash mid-compaction")
+	}
+}
+
+// TestJournalTornTailTruncated crashes "mid-append": a partial record at
+// the journal tail must be truncated away silently (it was never acked)
+// while every complete record replays.
+func TestJournalTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ServerConfig{Shards: 1, JournalDir: dir}
+	srv, cl := startJournalServer(t, cfg)
+	dev := NewSimDevice(DefaultMasterKey, "001060000000001")
+	sealed, _ := dev.SealRecords(core.MarshalRecords(deviceRecords(3)))
+	if err := cl.UploadRecords(dev.IMSI, sealed); err != nil {
+		t.Fatal(err)
+	}
+	model1, _ := cl.FetchModel()
+	cl.Close()
+	srv.Kill()
+
+	// Append half a record: a plausible header claiming more bytes than
+	// follow.
+	f, err := os.OpenFile(journalPath(dir, 0), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x01, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	srv2, cl2 := startJournalServer(t, cfg)
+	defer func() { cl2.Close(); _ = srv2.Shutdown() }()
+	if !bytes.Equal(srv2.Model(), model1) {
+		t.Fatal("torn tail lost acked records")
+	}
+	// And the journal must be usable for new appends after the truncate.
+	dev2 := NewSimDevice(DefaultMasterKey, "001060000000002")
+	sealed2, _ := dev2.SealRecords(core.MarshalRecords(deviceRecords(4)))
+	if err := cl2.UploadRecords(dev2.IMSI, sealed2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalCorruptRecordRefusesStart flips a byte inside a committed
+// record: startup must refuse with a descriptive error, and -force-empty
+// must quarantine the file and come up empty instead.
+func TestJournalCorruptRecordRefusesStart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ServerConfig{Shards: 1, JournalDir: dir, Logf: func(string, ...any) {}}
+	srv, cl := startJournalServer(t, cfg)
+	for i := 0; i < 4; i++ {
+		dev := NewSimDevice(DefaultMasterKey, fmt.Sprintf("00107%010d", i))
+		sealed, _ := dev.SealRecords(core.MarshalRecords(deviceRecords(i)))
+		if err := cl.UploadRecords(dev.IMSI, sealed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Close()
+	srv.Kill()
+
+	jp := journalPath(dir, 0)
+	data, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 32 {
+		t.Fatalf("journal unexpectedly small: %d bytes", len(data))
+	}
+	// Flip a byte inside the FIRST record's payload: a complete record whose
+	// CRC no longer matches. (Flipping a length header instead can mimic a
+	// torn tail, which is deliberately tolerated.)
+	data[journalHeaderLen+4] ^= 0xFF
+	if err := os.WriteFile(jp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Addr = "127.0.0.1:0"
+	srv2 := NewServer(cfg)
+	err = srv2.Start()
+	if err == nil {
+		_ = srv2.Shutdown()
+		t.Fatal("corrupt journal accepted")
+	}
+	for _, want := range []string{"CRC", "force-empty"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+
+	cfg.ForceEmpty = true
+	srv3 := NewServer(cfg)
+	if err := srv3.Start(); err != nil {
+		t.Fatalf("force-empty start: %v", err)
+	}
+	defer func() { _ = srv3.Shutdown() }()
+	if len(srv3.Model()) != 0 {
+		t.Fatal("force-empty started with a non-empty model")
+	}
+	if _, err := os.Stat(jp + ".corrupt"); err != nil {
+		t.Fatalf("damaged journal not quarantined: %v", err)
+	}
+}
+
+// TestSnapshotCorruptRefusesStart damages the compaction snapshot the same
+// way.
+func TestSnapshotCorruptRefusesStart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ServerConfig{Shards: 1, JournalDir: dir, CompactBytes: 1, Logf: func(string, ...any) {}}
+	srv, cl := startJournalServer(t, cfg)
+	// CompactBytes=1 forces a compaction after the first batch, producing a
+	// snapshot file.
+	dev := NewSimDevice(DefaultMasterKey, "001080000000001")
+	sealed, _ := dev.SealRecords(core.MarshalRecords(deviceRecords(1)))
+	if err := cl.UploadRecords(dev.IMSI, sealed); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	srv.Kill()
+
+	sp := snapshotPath(dir, 0)
+	data, err := os.ReadFile(sp)
+	if err != nil {
+		t.Fatalf("no snapshot despite CompactBytes=1: %v", err)
+	}
+	data[len(data)-5] ^= 0xFF
+	if err := os.WriteFile(sp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Addr = "127.0.0.1:0"
+	srv2 := NewServer(cfg)
+	if err := srv2.Start(); err == nil {
+		_ = srv2.Shutdown()
+		t.Fatal("corrupt snapshot accepted")
+	} else if !strings.Contains(err.Error(), "snapshot") {
+		t.Fatalf("error %q does not name the snapshot", err)
+	}
+
+	cfg.ForceEmpty = true
+	srv3 := NewServer(cfg)
+	if err := srv3.Start(); err != nil {
+		t.Fatalf("force-empty start: %v", err)
+	}
+	defer func() { _ = srv3.Shutdown() }()
+	if _, err := os.Stat(sp + ".corrupt"); err != nil {
+		t.Fatalf("damaged snapshot not quarantined: %v", err)
+	}
+}
+
+// TestJournalCleanShutdownReplaysNothing: a drained shutdown leaves a
+// snapshot + empty journal, so the next start replays zero records and
+// does NOT burn the downlink recovery skip.
+func TestJournalCleanShutdownReplaysNothing(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ServerConfig{Shards: 2, JournalDir: dir}
+	srv, cl := startJournalServer(t, cfg)
+	dev := NewSimDevice(DefaultMasterKey, "001090000000001")
+	sealed, _ := dev.SealRecords(core.MarshalRecords(deviceRecords(2)))
+	if err := cl.UploadRecords(dev.IMSI, sealed); err != nil {
+		t.Fatal(err)
+	}
+	model1, _ := cl.FetchModel()
+	cl.Close()
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, cl2 := startJournalServer(t, cfg)
+	defer func() { cl2.Close(); _ = srv2.Shutdown() }()
+	if !bytes.Equal(srv2.Model(), model1) {
+		t.Fatal("clean shutdown lost the model")
+	}
+	if st := srv2.Stats(); st.ReplayedRecords != 0 {
+		t.Fatalf("clean shutdown still replayed %d records", st.ReplayedRecords)
+	}
+	// The recovered envelope must NOT have the downlink skip: its send
+	// counter survives exactly, so a pre-shutdown device keeps its sync.
+	sh := srv2.homeShard(dev.IMSI)
+	e := sh.envs[dev.IMSI]
+	if e == nil {
+		t.Fatal("envelope state not restored by clean shutdown")
+	}
+	send, _ := e.Counters()
+	if send[crypto5g.Downlink] >= downlinkRecoverySkip {
+		t.Fatal("clean shutdown burned the downlink recovery skip")
+	}
+}
+
+// TestJournalGroupCommitBatches drives concurrent uploads through one
+// shard and checks the fsync count stayed below the record count — the
+// group commit actually amortizes.
+func TestJournalGroupCommitBatches(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ServerConfig{Shards: 1, QueueDepth: 256, JournalDir: dir}
+	srv, cl := startJournalServer(t, cfg)
+	cl.Close()
+	// Plenty of conns so many uploads are genuinely in flight at once and
+	// land in shared batches.
+	cl = NewClient(ClientConfig{Addr: srv.Addr().String(), Conns: 32})
+	defer func() { _ = srv.Shutdown() }()
+	defer cl.Close()
+
+	const n = 64
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			dev := NewSimDevice(DefaultMasterKey, fmt.Sprintf("00110%010d", i))
+			sealed, err := dev.SealRecords(core.MarshalRecords(deviceRecords(i)))
+			if err == nil {
+				err = cl.UploadRecords(dev.IMSI, sealed)
+			}
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.JournalRecords != n {
+		t.Fatalf("journaled %d records, want %d", st.JournalRecords, n)
+	}
+	if st.JournalSyncs >= st.JournalRecords {
+		t.Fatalf("no batching: %d syncs for %d records", st.JournalSyncs, st.JournalRecords)
+	}
+	t.Logf("group commit: %d records in %d syncs", st.JournalRecords, st.JournalSyncs)
+}
+
+// TestModelUnmarshalRejectsEmptySnapshotModel guards UnmarshalModel's use
+// in recovery: an empty model is legal (fresh shard).
+func TestRecoverShardFreshDirectory(t *testing.T) {
+	rec, err := recoverShard(t.TempDir(), 0, DefaultMasterKey, DefaultMaxFrame, false, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Envs) != 0 || rec.Replayed != 0 || rec.NextSeq != 1 {
+		t.Fatalf("fresh dir recovery: %+v", rec)
+	}
+}

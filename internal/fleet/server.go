@@ -17,6 +17,7 @@ import (
 	"github.com/seed5g/seed/internal/cause"
 	"github.com/seed5g/seed/internal/core"
 	"github.com/seed5g/seed/internal/crypto5g"
+	"github.com/seed5g/seed/internal/fleet/cluster"
 	"github.com/seed5g/seed/internal/report"
 )
 
@@ -40,10 +41,31 @@ type ServerConfig struct {
 	ReadTimeout, WriteTimeout time.Duration
 	// RetryAfter is the wait hint returned on backpressure.
 	RetryAfter time.Duration
-	// SnapshotPath, when set, is the aggregate-model snapshot file:
-	// restored on Start, written on Shutdown, so restarts don't lose
-	// learning.
+	// SnapshotPath, when set, is the legacy drain-time model snapshot:
+	// restored on Start, written on Shutdown. It only survives graceful
+	// shutdowns — a SIGKILL loses everything since the last drain. Mutually
+	// exclusive with JournalDir, which supersedes it.
 	SnapshotPath string
+	// JournalDir, when set, enables the durable tier: each shard keeps an
+	// append-only journal of acked sealed envelopes (group-commit fsync)
+	// plus a compaction snapshot in this directory. A SIGKILL'd server
+	// replays to its exact pre-crash model — including the envelope
+	// counters that dedup client retries — on the next Start.
+	JournalDir string
+	// CompactBytes is the per-shard journal size that triggers snapshot
+	// compaction (default 4 MiB).
+	CompactBytes int64
+	// ForceEmpty quarantines corrupt durable state and starts empty
+	// instead of refusing startup. Never the default: a silent empty
+	// model is indistinguishable from data loss.
+	ForceEmpty bool
+	// NodeID identifies this process in a cluster shard map. Required
+	// when Map is set.
+	NodeID string
+	// Map is the initial cluster shard map. When set, the server answers
+	// TWrongShard (carrying the current map) for IMSIs it does not own,
+	// and participates in the prepare/install/commit rebalance protocol.
+	Map *cluster.Map
 	// MasterKey derives per-subscriber envelope keys (SubscriberKey).
 	MasterKey [16]byte
 	// LearningRate is the per-shard Learner's logistic-gate rate.
@@ -74,6 +96,9 @@ func (c *ServerConfig) withDefaults() {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 25 * time.Millisecond
 	}
+	if c.CompactBytes <= 0 {
+		c.CompactBytes = 4 << 20
+	}
 	if c.MasterKey == ([16]byte{}) {
 		c.MasterKey = DefaultMasterKey
 	}
@@ -100,6 +125,15 @@ type ServerStats struct {
 	// every enqueued job before a worker exits, so anything other than 0
 	// is a bug (the CI smoke job asserts it).
 	Dropped uint64 `json:"dropped"`
+	// WrongShard counts requests redirected to their owning node.
+	WrongShard uint64 `json:"wrong_shard"`
+	// Journal durability counters (zero when JournalDir is unset).
+	JournalRecords  uint64 `json:"journal_records"`
+	JournalSyncs    uint64 `json:"journal_syncs"`
+	Compactions     uint64 `json:"compactions"`
+	ReplayedRecords uint64 `json:"replayed_records"`
+	// Epoch is the active cluster map epoch (zero outside a cluster).
+	Epoch uint64 `json:"epoch"`
 }
 
 // Server is the carrier fleet aggregation service.
@@ -112,12 +146,18 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	draining bool
 
+	mapMu      sync.RWMutex
+	curMap     *cluster.Map
+	pendingMap *cluster.Map
+
 	connWG  sync.WaitGroup
 	shardWG sync.WaitGroup
 
 	nConns, uploads, duplicates, recordRows atomic.Uint64
 	reports, queries, suggestions           atomic.Uint64
 	backpressured, nErrors, dropped         atomic.Uint64
+	wrongShard, jRecords, jSyncs            atomic.Uint64
+	compactions, replayed                   atomic.Uint64
 }
 
 type job struct {
@@ -125,6 +165,10 @@ type job struct {
 	imsi   string
 	sealed []byte
 	cause  cause.Cause
+	// newMap rides a TMapPrepare control job (collect moved-out counters);
+	// table rides a TCounterInstall control job.
+	newMap *cluster.Map
+	table  []CounterEntry
 	reply  chan Frame
 }
 
@@ -133,19 +177,26 @@ type job struct {
 // states are single-threaded); mu guards the learner, which the query
 // path reads across shards.
 type shard struct {
+	idx     int
 	srv     *Server
 	queue   chan job
 	mu      sync.Mutex
 	learner *core.Learner
 	envs    map[string]*crypto5g.Envelope
+	jr      *journal // nil when JournalDir is unset
+	// degraded is set when an fsync failed: the shard stops acknowledging
+	// durable work rather than acking state it cannot promise to keep.
+	degraded bool
+	batchBuf []job
 }
 
 // NewServer creates an unstarted server.
 func NewServer(cfg ServerConfig) *Server {
 	cfg.withDefaults()
-	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{}), curMap: cfg.Map}
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, &shard{
+			idx:     i,
 			srv:     s,
 			queue:   make(chan job, cfg.QueueDepth),
 			learner: core.NewLearner(cfg.LearningRate, rand.New(rand.NewSource(int64(i)+1))),
@@ -155,10 +206,25 @@ func NewServer(cfg ServerConfig) *Server {
 	return s
 }
 
-// Start restores the snapshot (if any), binds the listener, and launches
-// the shard workers and accept loop.
+// Start restores durable state (journal replay or legacy snapshot), binds
+// the listener, and launches the shard workers and accept loop.
 func (s *Server) Start() error {
-	if err := s.restoreSnapshot(); err != nil {
+	if s.cfg.SnapshotPath != "" && s.cfg.JournalDir != "" {
+		return errors.New("fleet: configure either SnapshotPath or JournalDir, not both")
+	}
+	if s.curMap != nil && s.cfg.NodeID == "" {
+		return errors.New("fleet: cluster Map requires NodeID")
+	}
+	if s.curMap != nil && s.cfg.NodeID != "" {
+		if _, ok := s.curMap.Node(s.cfg.NodeID); !ok {
+			return fmt.Errorf("fleet: node %q not in cluster map", s.cfg.NodeID)
+		}
+	}
+	if s.cfg.JournalDir != "" {
+		if err := s.recoverDurable(); err != nil {
+			return err
+		}
+	} else if err := s.restoreSnapshot(); err != nil {
 		return err
 	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
@@ -176,22 +242,81 @@ func (s *Server) Start() error {
 	return nil
 }
 
+// recoverDurable replays every shard's snapshot + journal. Refuses to
+// start on damage unless ForceEmpty.
+func (s *Server) recoverDurable() error {
+	if err := os.MkdirAll(s.cfg.JournalDir, 0o755); err != nil {
+		return err
+	}
+	start := time.Now()
+	totalReplayed := 0
+	for _, sh := range s.shards {
+		rec, err := recoverShard(s.cfg.JournalDir, sh.idx, s.cfg.MasterKey, s.cfg.MaxFrame, s.cfg.ForceEmpty, s.cfg.Logf)
+		if err != nil {
+			return fmt.Errorf("fleet: journal recovery: %w", err)
+		}
+		sh.mu.Lock()
+		sh.learner.Crowdsource(rec.Model)
+		sh.mu.Unlock()
+		sh.envs = rec.Envs
+		jr, err := openJournalAppend(journalPath(s.cfg.JournalDir, sh.idx), rec.GoodLen, rec.NextSeq)
+		if err != nil {
+			return fmt.Errorf("fleet: journal open shard %d: %w", sh.idx, err)
+		}
+		sh.jr = jr
+		totalReplayed += rec.Replayed
+		s.replayed.Add(uint64(rec.Replayed))
+		if rec.Replayed > 0 || rec.TornTail || rec.Skipped > 0 {
+			s.cfg.Logf("seedfleetd: shard %d recovered: snapSeq=%d replayed=%d deduped=%d tornTail=%v envs=%d",
+				sh.idx, rec.SnapSeq, rec.Replayed, rec.Skipped, rec.TornTail, len(rec.Envs))
+		}
+	}
+	if totalReplayed > 0 {
+		s.cfg.Logf("seedfleetd: crash recovery replayed %d journal records in %s", totalReplayed, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
 // Addr returns the bound listen address (valid after Start).
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// SetMap installs a cluster shard map outside the wire protocol (tests
+// and bootstrap paths where addresses are only known after Start).
+func (s *Server) SetMap(m *cluster.Map) {
+	s.mapMu.Lock()
+	s.curMap = m
+	s.mapMu.Unlock()
+}
+
+// Epoch returns the active cluster map epoch (0 when not clustered).
+func (s *Server) Epoch() uint64 {
+	s.mapMu.RLock()
+	defer s.mapMu.RUnlock()
+	if s.curMap == nil {
+		return 0
+	}
+	return s.curMap.Epoch
+}
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Conns:         s.nConns.Load(),
-		Uploads:       s.uploads.Load(),
-		Duplicates:    s.duplicates.Load(),
-		RecordRows:    s.recordRows.Load(),
-		Reports:       s.reports.Load(),
-		Queries:       s.queries.Load(),
-		Suggestions:   s.suggestions.Load(),
-		Backpressured: s.backpressured.Load(),
-		Errors:        s.nErrors.Load(),
-		Dropped:       s.dropped.Load(),
+		Conns:           s.nConns.Load(),
+		Uploads:         s.uploads.Load(),
+		Duplicates:      s.duplicates.Load(),
+		RecordRows:      s.recordRows.Load(),
+		Reports:         s.reports.Load(),
+		Queries:         s.queries.Load(),
+		Suggestions:     s.suggestions.Load(),
+		Backpressured:   s.backpressured.Load(),
+		Errors:          s.nErrors.Load(),
+		Dropped:         s.dropped.Load(),
+		WrongShard:      s.wrongShard.Load(),
+		JournalRecords:  s.jRecords.Load(),
+		JournalSyncs:    s.jSyncs.Load(),
+		Compactions:     s.compactions.Load(),
+		ReplayedRecords: s.replayed.Load(),
+		Epoch:           s.Epoch(),
 	}
 }
 
@@ -224,11 +349,62 @@ func (s *Server) Shutdown() error {
 		close(sh.queue)
 	}
 	s.shardWG.Wait()
-	err := s.writeSnapshot()
+	var err error
+	if s.cfg.JournalDir != "" {
+		err = s.drainCompact()
+	} else {
+		err = s.writeSnapshot()
+	}
 	st := s.Stats()
 	s.cfg.Logf("seedfleetd: drain complete (uploads=%d duplicates=%d reports=%d queries=%d backpressured=%d errors=%d dropped=%d)",
 		st.Uploads, st.Duplicates, st.Reports, st.Queries, st.Backpressured, st.Errors, st.Dropped)
 	return err
+}
+
+// drainCompact writes every shard's final snapshot and truncates its
+// journal: a clean shutdown leaves compact durable state whose next Start
+// replays nothing.
+func (s *Server) drainCompact() error {
+	var firstErr error
+	for _, sh := range s.shards {
+		if sh.jr == nil {
+			continue
+		}
+		if err := sh.compact(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := sh.jr.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Kill abandons the server without drain-time snapshots: the listener and
+// every connection are closed hard, queued jobs still land in the journal
+// (a real SIGKILL can strike after the fsync but before the ack — that is
+// exactly the window crash recovery must cover), and no compaction runs.
+// Tests use it as in-process SIGKILL injection.
+func (s *Server) Kill() {
+	s.connMu.Lock()
+	s.draining = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.connMu.Unlock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	s.connWG.Wait()
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+	s.shardWG.Wait()
+	for _, sh := range s.shards {
+		if sh.jr != nil {
+			_ = sh.jr.close()
+		}
+	}
 }
 
 func (s *Server) acceptLoop() {
@@ -281,6 +457,26 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// checkOwner enforces the cluster shard map on a subscriber request. A
+// non-nil return is the redirect (or freeze) response. Frozen means the
+// IMSI is moving out under a prepared-but-uncommitted map: the old owner
+// must not fold past the counters it already handed off, so the client
+// waits out the commit.
+func (s *Server) checkOwner(imsi string) *Frame {
+	s.mapMu.RLock()
+	cur, pend := s.curMap, s.pendingMap
+	s.mapMu.RUnlock()
+	if cur != nil && cur.OwnerID(imsi) != s.cfg.NodeID {
+		s.wrongShard.Add(1)
+		return &Frame{Type: TWrongShard, Payload: cur.Marshal()}
+	}
+	if pend != nil && pend.OwnerID(imsi) != s.cfg.NodeID {
+		s.backpressured.Add(1)
+		return &Frame{Type: TRetryAfter, Payload: RetryAfterPayload(uint32(s.cfg.RetryAfter / time.Millisecond))}
+	}
+	return nil
+}
+
 // dispatch routes one request frame and blocks until its response is
 // ready. Sealed-envelope work goes through the device's home shard; admin
 // frames are answered inline.
@@ -291,11 +487,17 @@ func (s *Server) dispatch(f Frame) Frame {
 		if err != nil {
 			return s.errFrame(err)
 		}
+		if deny := s.checkOwner(imsi); deny != nil {
+			return *deny
+		}
 		return s.submit(job{typ: f.Type, imsi: imsi, sealed: sealed})
 	case TQuery:
 		imsi, c, err := ParseQueryPayload(f.Payload)
 		if err != nil {
 			return s.errFrame(err)
+		}
+		if deny := s.checkOwner(imsi); deny != nil {
+			return *deny
 		}
 		return s.submit(job{typ: TQuery, imsi: imsi, cause: c})
 	case TModelPull:
@@ -306,17 +508,110 @@ func (s *Server) dispatch(f Frame) Frame {
 			return s.errFrame(err)
 		}
 		return Frame{Type: TStats, Payload: buf}
+	case TMapPull:
+		s.mapMu.RLock()
+		cur := s.curMap
+		s.mapMu.RUnlock()
+		if cur == nil {
+			return s.errFrame(errors.New("fleet: node has no cluster map"))
+		}
+		return Frame{Type: TMap, Payload: cur.Marshal()}
+	case TMapPrepare:
+		return s.handlePrepare(f.Payload)
+	case TCounterInstall:
+		return s.handleInstall(f.Payload)
+	case TMapCommit:
+		return s.handleCommit(f.Payload)
 	default:
 		return s.errFrame(fmt.Errorf("fleet: unexpected request frame %v", f.Type))
 	}
 }
 
+// handlePrepare is rebalance phase 1: stage the proposed map (freezing
+// moved-out IMSIs) and collect their envelope counters from every shard.
+func (s *Server) handlePrepare(payload []byte) Frame {
+	m, err := cluster.Unmarshal(payload)
+	if err != nil {
+		return s.errFrame(err)
+	}
+	s.mapMu.Lock()
+	if s.curMap != nil && m.Epoch <= s.curMap.Epoch {
+		cur := s.curMap
+		s.mapMu.Unlock()
+		return s.errFrame(fmt.Errorf("fleet: prepare epoch %d not beyond current %d", m.Epoch, cur.Epoch))
+	}
+	s.pendingMap = m
+	s.mapMu.Unlock()
+
+	var entries []CounterEntry
+	for _, sh := range s.shards {
+		resp := s.submitShard(sh, job{typ: TMapPrepare, newMap: m})
+		if resp.Type != TPrepared {
+			return resp
+		}
+		part, err := ParseCounterTable(resp.Payload)
+		if err != nil {
+			return s.errFrame(err)
+		}
+		entries = append(entries, part...)
+	}
+	return Frame{Type: TPrepared, Payload: AppendCounterTable(nil, entries)}
+}
+
+// handleInstall is rebalance phase 2 on the receiving side: raise the
+// handed-off subscribers' envelope counters on their home shards. The
+// install is journaled, so a crash after the TAck still dedups pre-move
+// uploads after replay.
+func (s *Server) handleInstall(payload []byte) Frame {
+	entries, err := ParseCounterTable(payload)
+	if err != nil {
+		return s.errFrame(err)
+	}
+	byShard := make(map[*shard][]CounterEntry)
+	for _, e := range entries {
+		sh := s.homeShard(e.IMSI)
+		byShard[sh] = append(byShard[sh], e)
+	}
+	for sh, part := range byShard {
+		if resp := s.submitShard(sh, job{typ: TCounterInstall, table: part}); resp.Type != TAck {
+			return resp
+		}
+	}
+	return Frame{Type: TAck}
+}
+
+// handleCommit is rebalance phase 3: activate the prepared map. Commits
+// of an epoch at or below the active one are idempotent acks so the
+// controller can retry.
+func (s *Server) handleCommit(payload []byte) Frame {
+	epoch, err := ParseEpoch(payload)
+	if err != nil {
+		return s.errFrame(err)
+	}
+	s.mapMu.Lock()
+	defer s.mapMu.Unlock()
+	if s.curMap != nil && s.curMap.Epoch >= epoch {
+		return Frame{Type: TAck}
+	}
+	if s.pendingMap == nil || s.pendingMap.Epoch != epoch {
+		return s.errFrame(fmt.Errorf("fleet: no prepared map for epoch %d", epoch))
+	}
+	s.curMap = s.pendingMap
+	s.pendingMap = nil
+	s.cfg.Logf("seedfleetd: shard map epoch %d active (%d nodes)", epoch, len(s.curMap.Nodes()))
+	return Frame{Type: TAck}
+}
+
+func (s *Server) homeShard(imsi string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(imsi))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
 // submit enqueues a job on the device's home shard, answering TRetryAfter
 // when the shard's bounded queue is full.
 func (s *Server) submit(j job) Frame {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(j.imsi))
-	sh := s.shards[h.Sum32()%uint32(len(s.shards))]
+	sh := s.homeShard(j.imsi)
 	j.reply = make(chan Frame, 1)
 	select {
 	case sh.queue <- j:
@@ -327,6 +622,14 @@ func (s *Server) submit(j job) Frame {
 	}
 }
 
+// submitShard blocks a control job onto a specific shard (admin paths
+// must not be shed by backpressure).
+func (s *Server) submitShard(sh *shard, j job) Frame {
+	j.reply = make(chan Frame, 1)
+	sh.queue <- j
+	return <-j.reply
+}
+
 func (s *Server) errFrame(err error) Frame {
 	s.nErrors.Add(1)
 	return Frame{Type: TErr, Payload: []byte(err.Error())}
@@ -334,11 +637,103 @@ func (s *Server) errFrame(err error) Frame {
 
 // --- shard worker --------------------------------------------------------
 
+// run is the shard worker loop with group commit: drain a batch from the
+// queue, fold every job, append all new journal records, fsync ONCE, then
+// release every ack. Replies never precede durability.
 func (sh *shard) run() {
 	defer sh.srv.shardWG.Done()
-	for j := range sh.queue {
-		j.reply <- sh.handle(j)
+	for {
+		j, ok := <-sh.queue
+		if !ok {
+			return
+		}
+		sh.batchBuf = append(sh.batchBuf[:0], j)
+		closed := false
+	fill:
+		for len(sh.batchBuf) < maxJournalBatch {
+			select {
+			case j2, ok2 := <-sh.queue:
+				if !ok2 {
+					closed = true
+					break fill
+				}
+				sh.batchBuf = append(sh.batchBuf, j2)
+			default:
+				break fill
+			}
+		}
+		sh.process(sh.batchBuf)
+		if closed {
+			return
+		}
 	}
+}
+
+// process folds one batch and group-commits its journal records.
+func (sh *shard) process(batch []job) {
+	replies := make([]Frame, len(batch))
+	var recs []journalRec
+	durable := make([]int, 0, len(batch)) // batch indices awaiting the fsync
+	for i, j := range batch {
+		f, rec := sh.handle(j)
+		replies[i] = f
+		if rec != nil && sh.jr != nil {
+			rec.seq = sh.jr.nextSeq
+			sh.jr.nextSeq++
+			recs = append(recs, *rec)
+			durable = append(durable, i)
+		}
+	}
+	if len(recs) > 0 {
+		err := sh.jr.append(recs)
+		if err == nil {
+			err = sh.jr.sync()
+		}
+		if err != nil {
+			// The folds already happened in memory but cannot be promised:
+			// fail the acks (clients retry, landing on the journal once it
+			// heals or on a restarted node) and stop acking new work.
+			sh.srv.cfg.Logf("seedfleetd: FATAL shard %d journal write: %v — shard degraded, refusing new acks", sh.idx, err)
+			sh.degraded = true
+			for _, i := range durable {
+				replies[i] = sh.srv.errFrame(fmt.Errorf("fleet: journal write failed: %w", err))
+			}
+		} else {
+			sh.srv.jRecords.Add(uint64(len(recs)))
+			sh.srv.jSyncs.Add(1)
+		}
+	}
+	for i, j := range batch {
+		j.reply <- replies[i]
+	}
+	if sh.jr != nil && !sh.degraded && sh.jr.size > sh.srv.cfg.CompactBytes {
+		if err := sh.compact(); err != nil {
+			sh.srv.cfg.Logf("seedfleetd: shard %d compaction: %v", sh.idx, err)
+		}
+	}
+}
+
+// compact writes the shard snapshot (counters + model, covering every
+// journaled record) and truncates the journal. Crash-ordering: the
+// snapshot lands via tmp+rename BEFORE the truncate, and replay skips
+// seq <= snapshot seq, so dying between the two double-folds nothing.
+func (sh *shard) compact() error {
+	entries := make([]CounterEntry, 0, len(sh.envs))
+	for imsi, e := range sh.envs {
+		send, recv := e.Counters()
+		entries = append(entries, CounterEntry{IMSI: imsi, Send: send, Recv: recv})
+	}
+	sh.mu.Lock()
+	model := MarshalModel(sh.learner.Export())
+	sh.mu.Unlock()
+	if err := writeShardSnapshot(sh.srv.cfg.JournalDir, sh.idx, sh.jr.nextSeq-1, entries, model); err != nil {
+		return err
+	}
+	if err := sh.jr.reset(); err != nil {
+		return err
+	}
+	sh.srv.compactions.Add(1)
+	return nil
 }
 
 // env returns (creating on first use) the subscriber's envelope. Only the
@@ -352,16 +747,26 @@ func (sh *shard) env(imsi string) *crypto5g.Envelope {
 	return e
 }
 
-func (sh *shard) handle(j job) Frame {
+// handle folds one job and returns its reply plus the journal record that
+// must be durable before the reply may be released (nil when the job
+// changed no durable state — duplicates, queries, errors).
+func (sh *shard) handle(j job) (Frame, *journalRec) {
+	if sh.degraded && (j.typ == TUpload || j.typ == TReport || j.typ == TCounterInstall) {
+		return sh.srv.errFrame(errors.New("fleet: shard degraded after journal failure")), nil
+	}
 	switch j.typ {
 	case TUpload:
 		return sh.handleUpload(j)
 	case TReport:
 		return sh.handleReport(j)
 	case TQuery:
-		return sh.handleQuery(j)
+		return sh.handleQuery(j), nil
+	case TMapPrepare:
+		return sh.handleCollect(j), nil
+	case TCounterInstall:
+		return sh.handleInstall(j)
 	default:
-		return sh.srv.errFrame(fmt.Errorf("fleet: shard got frame %v", j.typ))
+		return sh.srv.errFrame(fmt.Errorf("fleet: shard got frame %v", j.typ)), nil
 	}
 }
 
@@ -370,18 +775,18 @@ func (sh *shard) handle(j job) Frame {
 // envelope counter makes the fold exactly-once: a replayed counter means
 // this blob was already folded, so the duplicate is acknowledged without
 // folding again.
-func (sh *shard) handleUpload(j job) Frame {
+func (sh *shard) handleUpload(j job) (Frame, *journalRec) {
 	blob, err := sh.env(j.imsi).Open(crypto5g.Uplink, j.sealed)
 	if err != nil {
 		if errors.Is(err, crypto5g.ErrReplay) {
 			sh.srv.duplicates.Add(1)
-			return Frame{Type: TAck}
+			return Frame{Type: TAck}, nil
 		}
-		return sh.srv.errFrame(fmt.Errorf("fleet: upload from %s: %w", j.imsi, err))
+		return sh.srv.errFrame(fmt.Errorf("fleet: upload from %s: %w", j.imsi, err)), nil
 	}
 	recs, err := core.UnmarshalRecords(blob)
 	if err != nil {
-		return sh.srv.errFrame(fmt.Errorf("fleet: upload from %s: %w", j.imsi, err))
+		return sh.srv.errFrame(fmt.Errorf("fleet: upload from %s: %w", j.imsi, err)), nil
 	}
 	rows := 0
 	for _, acts := range recs {
@@ -392,27 +797,58 @@ func (sh *shard) handleUpload(j job) Frame {
 	sh.mu.Unlock()
 	sh.srv.uploads.Add(1)
 	sh.srv.recordRows.Add(uint64(rows))
-	return Frame{Type: TAck}
+	return Frame{Type: TAck}, &journalRec{kind: jUpload, imsi: j.imsi, body: j.sealed}
 }
 
 // handleReport opens and validates a sealed failure report. The in-process
 // infrastructure plugin owns policy repair; the fleet service validates
 // the wire leg and counts what arrived (replays are acknowledged idempotently
-// like uploads).
-func (sh *shard) handleReport(j job) Frame {
+// like uploads). Reports are journaled too: they advance the envelope
+// receive counter, and replay must restore that counter exactly for the
+// dedup of later uploads to hold.
+func (sh *shard) handleReport(j job) (Frame, *journalRec) {
 	raw, err := sh.env(j.imsi).Open(crypto5g.Uplink, j.sealed)
 	if err != nil {
 		if errors.Is(err, crypto5g.ErrReplay) {
 			sh.srv.duplicates.Add(1)
-			return Frame{Type: TAck}
+			return Frame{Type: TAck}, nil
 		}
-		return sh.srv.errFrame(fmt.Errorf("fleet: report from %s: %w", j.imsi, err))
+		return sh.srv.errFrame(fmt.Errorf("fleet: report from %s: %w", j.imsi, err)), nil
 	}
 	if _, err := report.Unmarshal(raw); err != nil {
-		return sh.srv.errFrame(fmt.Errorf("fleet: report from %s: %w", j.imsi, err))
+		return sh.srv.errFrame(fmt.Errorf("fleet: report from %s: %w", j.imsi, err)), nil
 	}
 	sh.srv.reports.Add(1)
-	return Frame{Type: TAck}
+	return Frame{Type: TAck}, &journalRec{kind: jReport, imsi: j.imsi, body: j.sealed}
+}
+
+// handleCollect gathers the counter state of every subscriber this node
+// is about to hand off under the prepared map (rebalance phase 1, shard
+// slice).
+func (sh *shard) handleCollect(j job) Frame {
+	nodeID := sh.srv.cfg.NodeID
+	var entries []CounterEntry
+	for imsi, e := range sh.envs {
+		if j.newMap.OwnerID(imsi) == nodeID {
+			continue // staying here
+		}
+		send, recv := e.Counters()
+		entries = append(entries, CounterEntry{IMSI: imsi, Send: send, Recv: recv})
+	}
+	return Frame{Type: TPrepared, Payload: AppendCounterTable(nil, entries)}
+}
+
+// handleInstall raises moved-in subscribers' counters (rebalance phase 2,
+// shard slice). Max semantics keep it idempotent under controller retries
+// and journal replay.
+func (sh *shard) handleInstall(j job) (Frame, *journalRec) {
+	for _, e := range j.table {
+		installCounters(sh.env(e.IMSI), e)
+	}
+	if sh.jr == nil {
+		return Frame{Type: TAck}, nil
+	}
+	return Frame{Type: TAck}, &journalRec{kind: jInstall, body: AppendCounterTable(nil, j.table)}
 }
 
 // handleQuery answers the model-push leg: merge the cause's evidence
@@ -447,7 +883,7 @@ func (sh *shard) handleQuery(j job) Frame {
 	return Frame{Type: TSuggest, Payload: sealed}
 }
 
-// --- snapshot ------------------------------------------------------------
+// --- legacy drain-time snapshot ------------------------------------------
 
 var snapshotMagic = []byte("SEEDFLT1")
 
@@ -465,7 +901,9 @@ func (s *Server) writeSnapshot() error {
 }
 
 // restoreSnapshot loads a previously written model into shard 0. Placement
-// is irrelevant: queries and Model() merge across shards.
+// is irrelevant: queries and Model() merge across shards. A damaged
+// snapshot refuses startup (never a silent empty model) unless ForceEmpty
+// quarantines it.
 func (s *Server) restoreSnapshot() error {
 	if s.cfg.SnapshotPath == "" {
 		return nil
@@ -477,12 +915,20 @@ func (s *Server) restoreSnapshot() error {
 	if err != nil {
 		return err
 	}
+	fail := func(ferr error) error {
+		if !s.cfg.ForceEmpty {
+			return fmt.Errorf("%w (use -force-empty to quarantine and start empty)", ferr)
+		}
+		s.cfg.Logf("seedfleetd: %v — starting empty by -force-empty", ferr)
+		quarantine(s.cfg.SnapshotPath, s.cfg.Logf)
+		return nil
+	}
 	if len(body) < len(snapshotMagic) || string(body[:len(snapshotMagic)]) != string(snapshotMagic) {
-		return fmt.Errorf("fleet: %s is not a fleet snapshot", s.cfg.SnapshotPath)
+		return fail(fmt.Errorf("fleet: %s is not a fleet snapshot", s.cfg.SnapshotPath))
 	}
 	m, err := UnmarshalModel(body[len(snapshotMagic):])
 	if err != nil {
-		return fmt.Errorf("fleet: snapshot %s: %w", s.cfg.SnapshotPath, err)
+		return fail(fmt.Errorf("fleet: snapshot %s: %w", s.cfg.SnapshotPath, err))
 	}
 	sh := s.shards[0]
 	sh.mu.Lock()
