@@ -4,7 +4,7 @@
 // Usage:
 //
 //	seedbench [-exp all|table1|table2|table3|table4|table5|figure2|figure3|
-//	           figure11a|figure11b|figure12|figure13|coverage|learning]
+//	           figure11a|figure11b|figure12|figure13|coverage|learning|mobility]
 //	          [-samples N] [-seed S] [-parallel P] [-reps N] [-json FILE]
 //	          [-cpuprofile FILE] [-memprofile FILE] [-freshboot]
 //
@@ -85,7 +85,7 @@ type benchReport struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..5, figure2/3/11a/11b/12/13, coverage, learning)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..5, figure2/3/11a/11b/12/13, coverage, learning, mobility)")
 	samples := flag.Int("samples", 100, "replayed failure cases per class for the dataset-driven experiments")
 	seedVal := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "scenario worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
@@ -159,6 +159,7 @@ func main() {
 		{"figure13", func() string { return seed.ExperimentFigure13(*seedVal).Render() }},
 		{"coverage", func() string { return seed.ExperimentCoverage(ds, *samples, *seedVal).Render() }},
 		{"learning", func() string { return seed.ExperimentLearning(6, 4, 50, *seedVal).Render() }},
+		{"mobility", func() string { return seed.ExperimentMobility(max(8, *samples/10), *seedVal).Render() }},
 	}
 
 	if *exp != "all" {

@@ -8,6 +8,7 @@
 //
 //	seedload [-addr HOST:PORT] [-devices N] [-workers N] [-conns N]
 //	         [-records N] [-reports N] [-causes N] [-seed S]
+//	         [-spec FILE] [-timescale F]
 //	         [-master HEX32] [-json FILE] [-verify=false] [-quiet]
 //
 // Each device's learning records are generated deterministically from
@@ -22,6 +23,11 @@
 // worker goroutines, each performing synchronous round trips through the
 // shared connection pool. p50/p95/p99 latencies cover the whole exchange
 // including backoff waits — what a device experiences under backpressure.
+//
+// -spec FILE paces uploads by a workload spec's compiled arrival process
+// (cmd/seedwl's schema): device i's upload starts at the i-th arrival
+// offset, compressed by -timescale real-seconds-per-spec-second, so
+// diurnal curves and signaling-storm bursts shape the cluster load.
 package main
 
 import (
@@ -44,6 +50,7 @@ import (
 	"github.com/seed5g/seed/internal/metrics"
 	"github.com/seed5g/seed/internal/report"
 	"github.com/seed5g/seed/internal/sched"
+	"github.com/seed5g/seed/internal/workload"
 )
 
 // fleetAPI is the surface the drive loop needs. The single-node Client
@@ -180,6 +187,7 @@ type result struct {
 	Records       int     `json:"records_per_device"`
 	Reports       int     `json:"reports_per_device"`
 	Testbed       int     `json:"testbed_devices"`
+	PacedBySpec   string  `json:"paced_by_spec,omitempty"`
 	Seed          int64   `json:"seed"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
 	WallMS        float64 `json:"wall_ms"`
@@ -339,6 +347,8 @@ func main() {
 		reports     = flag.Int("reports", 1, "failure reports per device")
 		causes      = flag.Int("causes", 12, "distinct customized causes per plane")
 		testbed     = flag.Int("testbed", 32, "derive the first N devices' records from real cloned-testbed SEED runs (0: all synthetic)")
+		wlSpec      = flag.String("spec", "", "pace uploads by this workload spec's arrival process (see cmd/seedwl) instead of max rate")
+		timescale   = flag.Float64("timescale", 0.001, "real seconds per spec second with -spec pacing")
 		seedVal     = flag.Int64("seed", 1, "workload seed")
 		master      = flag.String("master", "", "fleet master key, 32 hex digits (default: built-in dev key)")
 		jsonOut     = flag.String("json", "", "write machine-readable results to FILE (\"-\" for stdout)")
@@ -414,6 +424,36 @@ func main() {
 	logf("seedload: %d devices (%d testbed-derived), %d workers, %d conns, %d record rows/device (model %d bytes)",
 		*devices, fromTestbed, *workers, *conns, *records, len(expected))
 
+	// With -spec, device i's upload waits until its compiled arrival
+	// offset (compressed by -timescale) — cluster load then carries the
+	// spec's diurnal curves and signaling-storm bursts instead of arriving
+	// as one max-rate wall.
+	var offsets []time.Duration
+	pacedBy := ""
+	if *wlSpec != "" {
+		blob, err := os.ReadFile(*wlSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seedload:", err)
+			os.Exit(2)
+		}
+		sp, err := workload.ParseSpec(blob)
+		if err == nil {
+			err = sp.Validate()
+		}
+		if err == nil {
+			offsets, err = workload.UploadSchedule(sp, *seedVal, *devices)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seedload: %s: %v\n", *wlSpec, err)
+			os.Exit(2)
+		}
+		for i := range offsets {
+			offsets[i] = time.Duration(float64(offsets[i]) * *timescale)
+		}
+		pacedBy = sp.Name
+		logf("seedload: pacing by spec %q ×%g: uploads span %v", sp.Name, *timescale, offsets[len(offsets)-1])
+	}
+
 	var api fleetAPI
 	if *clusterSpec != "" {
 		nodes, err := cluster.ParseNodeList(*clusterSpec)
@@ -422,8 +462,8 @@ func main() {
 			os.Exit(2)
 		}
 		cc, err := fleet.NewClusterClient(fleet.ClusterClientConfig{
-			Nodes: nodes,
-			Epoch: *epoch,
+			Nodes:  nodes,
+			Epoch:  *epoch,
 			Client: fleet.ClientConfig{Conns: *conns, Seed: *seedVal},
 		})
 		if err != nil {
@@ -440,14 +480,28 @@ func main() {
 
 	var lost, suggestions atomic.Int64
 	var wg sync.WaitGroup
+	// Contiguous chunks normally; with -spec pacing a stride instead, so
+	// simultaneous arrivals (offsets are sorted) spread across workers.
+	shards := make([][]int, *workers)
+	for i := 0; i < *devices; i++ {
+		w := i * *workers / *devices
+		if offsets != nil {
+			w = i % *workers
+		}
+		shards[w] = append(shards[w], i)
+	}
 	start := time.Now()
 	for w := 0; w < *workers; w++ {
-		lo := *devices * w / *workers
-		hi := *devices * (w + 1) / *workers
 		wg.Add(1)
-		go func(chunk []deviceLoad) {
+		go func(idx []int) {
 			defer wg.Done()
-			for _, ld := range chunk {
+			for _, i := range idx {
+				ld := loads[i]
+				if offsets != nil {
+					if d := time.Until(start.Add(offsets[i])); d > 0 {
+						time.Sleep(d)
+					}
+				}
 				dev := fleet.NewSimDevice(masterKey, ld.imsi)
 				blob := core.MarshalRecords(ld.records)
 				sealed, err := dev.SealRecords(blob)
@@ -475,14 +529,15 @@ func main() {
 					}
 				}
 			}
-		}(loads[lo:hi])
+		}(shards[w])
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
 	res := result{
 		Devices: *devices, Workers: *workers, Conns: *conns,
-		Records: *records, Reports: *reports, Testbed: fromTestbed, Seed: *seedVal,
+		Records: *records, Reports: *reports, Testbed: fromTestbed,
+		PacedBySpec: pacedBy, Seed: *seedVal,
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		WallMS:        float64(wall) / float64(time.Millisecond),
 		UploadsPerSec: float64(*devices) / wall.Seconds(),

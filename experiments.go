@@ -2,6 +2,7 @@ package seed
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"github.com/seed5g/seed/internal/core"
 	"github.com/seed5g/seed/internal/metrics"
 	"github.com/seed5g/seed/internal/sched"
+	"github.com/seed5g/seed/internal/workload"
 )
 
 // benignDiag is a congestion notice with zero wait: it exercises the full
@@ -1124,4 +1126,108 @@ func learnedBest(tb *Testbed, control bool, code uint8) (string, bool) {
 func (l LearningResult) Render() string {
 	return fmt.Sprintf("Online learning (§7.2.4): %d customized causes, %d trials, %d suggestions; %d/%d causes classified to the correct plane\n",
 		l.Causes, l.TrialsRun, l.SuggestionsSent, l.CorrectPlane, l.Causes)
+}
+
+// ---------------------------------------------------------------------------
+// Mobility — handover-induced failure classes SEED's corpus never saw
+// ---------------------------------------------------------------------------
+
+// MobilityRow is one (scenario, mode) group of the mobility experiment.
+type MobilityRow struct {
+	Scenario string
+	Mode     Mode
+	Median   time.Duration
+	P90      time.Duration
+	Trials   int
+	Unrecov  int
+	// Handovers / ContextLoss are the merged per-cell testbed counters
+	// (Testbed.Handovers) across the group's trials.
+	Handovers   int
+	ContextLoss int
+}
+
+// MobilityResult holds the mobility experiment's table.
+type MobilityResult struct {
+	Rows []MobilityRow
+}
+
+// mobilityScenarios lists the two mobility-induced failure classes in
+// render order.
+var mobilityScenarios = []string{workload.ScenHandoverDesync, workload.ScenTAURace}
+
+// ExperimentMobility measures the two mobility-induced failure classes —
+// a racing handover interrupting the recovery registration after a lost
+// context transfer, and a tracking-area update racing SEED's in-flight
+// diagnosis — end-to-end under all three schemes, on the default workload
+// spec's cell graph. Each (scenario, trial) pair shares its walk and cell
+// seed across the three modes (a paired comparison), and the per-cell
+// handover/context-loss counters merge through the shard accumulator, so
+// the result is identical at any parallelism.
+func ExperimentMobility(trials int, seedVal int64) MobilityResult {
+	graph := workload.DefaultSpec().Cells
+	mob := &workload.MobilitySpec{Model: "random-waypoint", HopsMin: 2, HopsMax: 5, DwellMeanSec: 20}
+	type cell struct {
+		scen   string
+		family uint64
+		mode   Mode
+		trial  int
+	}
+	var cells []cell
+	for family, scen := range mobilityScenarios {
+		for _, mode := range Modes {
+			for i := 0; i < trials; i++ {
+				cells = append(cells, cell{scen: scen, family: uint64(family), mode: mode, trial: i})
+			}
+		}
+	}
+	acc := collectCells(len(cells), func(i int, a *shardAcc) {
+		c := cells[i]
+		// The walk derives from (scenario, trial) only, so every mode
+		// replays the same trajectory.
+		walkRNG := rand.New(rand.NewSource(sched.DeriveSeedN(seedVal, 0x3B, c.family, uint64(c.trial))))
+		hops, lossy := workload.SampleWalk(walkRNG, graph.N, mob, c.scen)
+		res, hos, lost := ReplayMobility(MobilityCase{
+			Cells: graph.N, DefaultLoss: graph.DefaultContextLoss, Edges: graph.Edges,
+			Hops: hops, LossyHop: lossy,
+		}, c.mode, sched.DeriveSeed(seedVal, cellKey(c.family, c.trial)))
+		group := c.scen + "/" + c.mode.String()
+		a.count(group + "/trials")
+		if res.Recovered {
+			a.add(group, res.Disruption)
+		} else {
+			a.count(group + "/unrecov")
+		}
+		a.countN(group+"/handovers", hos)
+		a.countN(group+"/ctxloss", lost)
+	})
+	var res MobilityResult
+	for _, scen := range mobilityScenarios {
+		for _, mode := range Modes {
+			group := scen + "/" + mode.String()
+			s := acc.get(group)
+			res.Rows = append(res.Rows, MobilityRow{
+				Scenario: scen, Mode: mode,
+				Median: s.Median(), P90: s.Percentile(90),
+				Trials:      acc.counts[group+"/trials"],
+				Unrecov:     acc.counts[group+"/unrecov"],
+				Handovers:   acc.counts[group+"/handovers"],
+				ContextLoss: acc.counts[group+"/ctxloss"],
+			})
+		}
+	}
+	return res
+}
+
+// Render formats the mobility table.
+func (m MobilityResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Mobility: handover-race disruption (s) percentiles per scheme\n")
+	fmt.Fprintf(&b, "%-16s %-8s %10s %10s %6s %6s %5s %5s\n",
+		"Scenario", "Handling", "Median", "90th", "n", "unrec", "HOs", "lost")
+	for _, r := range m.Rows {
+		fmt.Fprintf(&b, "%-16s %-8s %10.1f %10.1f %6d %6d %5d %5d\n",
+			r.Scenario, r.Mode, r.Median.Seconds(), r.P90.Seconds(),
+			r.Trials, r.Unrecov, r.Handovers, r.ContextLoss)
+	}
+	return b.String()
 }

@@ -26,6 +26,10 @@ type Cells struct {
 	// ContextLossProb is the probability that a handover's context
 	// transfer fails (the new TA cannot derive the UE identity).
 	ContextLossProb float64
+	// edgeLoss overrides ContextLossProb for specific directed (from, to)
+	// cell pairs — e.g. a handover crossing an AMF-pool boundary loses
+	// context far more often than one inside a pool.
+	edgeLoss map[[2]int]float64
 
 	handovers   int
 	contextLoss int
@@ -84,6 +88,24 @@ func (c *Cells) Stats() (handovers, contextLoss int) {
 	return c.handovers, c.contextLoss
 }
 
+// SetEdgeContextLoss overrides the context-loss probability for handovers
+// along the directed edge from → to.
+func (c *Cells) SetEdgeContextLoss(from, to int, p float64) {
+	if c.edgeLoss == nil {
+		c.edgeLoss = make(map[[2]int]float64)
+	}
+	c.edgeLoss[[2]int{from, to}] = p
+}
+
+// lossProb returns the effective context-loss probability for the given
+// directed handover.
+func (c *Cells) lossProb(from, to int) float64 {
+	if p, ok := c.edgeLoss[[2]int{from, to}]; ok {
+		return p
+	}
+	return c.ContextLossProb
+}
+
 // Register places a UE in cell 0 with its downlink transmit function
 // (call instead of GNB.AttachUE when using cells).
 func (c *Cells) Register(imsi string, tx func(any) bool) {
@@ -127,7 +149,8 @@ func (c *Cells) Handover(imsi string, target int, forceLoss bool) (bool, error) 
 	to.setConnected(imsi, connected)
 	c.ueCell[imsi] = target
 
-	lost := forceLoss || (c.ContextLossProb > 0 && c.k.Rand().Float64() < c.ContextLossProb)
+	p := c.lossProb(from, target)
+	lost := forceLoss || (p > 0 && c.k.Rand().Float64() < p)
 	if lost {
 		c.contextLoss++
 		c.net.AMF.DesyncIdentity(imsi)

@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec drives arbitrary bytes through the strict parser, the
+// validator, and — for small accepted specs — the compiler. None of the
+// three may panic, and a validated spec must always compile.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(MarshalSpec(DefaultSpec())))
+	f.Add([]byte(MarshalSpec(miniSpec())))
+	f.Add([]byte(`{"name":"x","horizon_min":1,"populations":[{"name":"p","count":1,"mode":"legacy","arrival":{"process":"poisson","rate_per_min":1},"failure_mix":[{"plane":"control","code":9,"weight":1,"scenario":"desync"}]}]}`))
+	f.Add([]byte(`{"name": "x", "bogus": 1}`))
+	f.Add([]byte(`{"name": "x"} trailing`))
+	f.Add([]byte(`{"horizon_min": 1e308}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if err := sp.Validate(); err != nil {
+			return
+		}
+		// Bound compile cost: the validator's MaxCells gate is far too
+		// loose for a fuzz iteration, so only compile cheap specs.
+		expected := 0.0
+		for _, p := range sp.Populations {
+			expected += float64(p.Count) * p.Arrival.peakRate() * sp.HorizonMin
+		}
+		if expected > 2000 {
+			return
+		}
+		cells, err := Compile(sp, 1)
+		if err != nil {
+			t.Fatalf("validated spec failed to compile: %v", err)
+		}
+		MarshalCorpus(&Corpus{Spec: sp, Seed: 1, Cells: cells, Stats: StatsOf(cells, nil)})
+	})
+}

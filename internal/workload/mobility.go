@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Hop is one handover of a mobility walk: move to cell To after dwelling
+// Dwell in the current cell.
+type Hop struct {
+	To    int           `json:"to"`
+	Dwell time.Duration `json:"dwell_ns"`
+}
+
+// SampleWalk draws one random-waypoint walk over an n-cell graph for a
+// mobility-scenario cell. The walk starts in cell 0 (where devices boot),
+// visits a uniformly chosen next cell each hop (the graph is complete;
+// per-edge context-loss knobs live in the CellGraph, not the topology),
+// and dwells an exponential time with the configured mean between hops.
+//
+// The returned lossyHop index is the hop whose context transfer is forced
+// lost (the failure onset); the hop after it is the racing handover whose
+// dwell is the race delay — short (registration still in flight) for
+// handover-desync, longer (diagnosis in flight) for tau-race. Walks
+// therefore always have ≥ 2 hops regardless of HopsMin.
+func SampleWalk(rng *rand.Rand, n int, m *MobilitySpec, scenario string) (hops []Hop, lossyHop int) {
+	count := m.HopsMin
+	if m.HopsMax > m.HopsMin {
+		count = m.HopsMin + rng.Intn(m.HopsMax-m.HopsMin+1)
+	}
+	if count < 2 {
+		count = 2
+	}
+	cur := 0
+	hops = make([]Hop, count)
+	for i := range hops {
+		next := rng.Intn(n - 1)
+		if next >= cur {
+			next++
+		}
+		dwell := time.Duration(rng.ExpFloat64() * m.DwellMeanSec * float64(time.Second))
+		if dwell < 10*time.Millisecond {
+			dwell = 10 * time.Millisecond
+		}
+		hops[i] = Hop{To: next, Dwell: dwell}
+		cur = next
+	}
+	lossyHop = count - 2
+	// The racing hop's dwell is the gap between the lossy handover and the
+	// tracking-area change that races its recovery.
+	var race time.Duration
+	if scenario == ScenTAURace {
+		// Diagnosis-in-flight window: SEED has seen the cause-9 reject and
+		// is delivering/acting on a diagnosis when the TAU lands.
+		race = 1500*time.Millisecond + time.Duration(rng.Float64()*4500)*time.Millisecond
+	} else {
+		// Registration-in-flight window: the recovery registration from
+		// the first loss has not completed yet.
+		race = 100*time.Millisecond + time.Duration(rng.Float64()*600)*time.Millisecond
+	}
+	hops[lossyHop+1].Dwell = race
+	return hops, lossyHop
+}

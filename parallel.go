@@ -88,6 +88,10 @@ func (a *shardAcc) add(group string, d time.Duration) {
 
 func (a *shardAcc) count(key string) { a.counts[key]++ }
 
+// countN adds n to a named counter (merged handover/context-loss totals
+// from per-cell testbeds).
+func (a *shardAcc) countN(key string, n int) { a.counts[key] += n }
+
 func (a *shardAcc) merge(src *shardAcc) {
 	for g, s := range src.series {
 		if dst := a.series[g]; dst != nil {

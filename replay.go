@@ -36,12 +36,26 @@ const connectDeadline = time.Minute
 // before the device ever starts boot fresh (their measured window IS the
 // boot).
 func ReplayManagement(fc FailureCase, mode Mode, seedVal int64) ReplayResult {
+	return ReplayManagementRF(fc, mode, seedVal, 0)
+}
+
+// ReplayManagementRF is ReplayManagement under a radio-degradation
+// profile: the device's radio link carries uniform jitter for the whole
+// replay (the workload generator's RF profiles). rfJitter == 0 is exactly
+// ReplayManagement.
+func ReplayManagementRF(fc FailureCase, mode Mode, seedVal int64, rfJitter time.Duration) ReplayResult {
 	if fc.Scenario == ScenarioDesync {
 		tb, d, put := bareProtos.Proto(mode).Cell(seedVal)
 		defer put()
+		if rfJitter > 0 {
+			// The prototype restore rewinds the link on the next acquire,
+			// so the profile applies to this cell only.
+			d.inner.Radio.SetJitter(rfJitter)
+		}
 		return replayDesyncOn(tb, d)
 	}
 	tb := New(seedVal)
+	tb.rfJitter = rfJitter
 	switch fc.Scenario {
 	case ScenarioTransient, ScenarioSilent:
 		return tb.replayInjected(fc, mode)

@@ -126,6 +126,9 @@ type Testbed struct {
 	seq        int
 
 	cells *core5g.Cells
+	// rfJitter, when set, is applied to every new device's radio link (the
+	// workload generator's RF-degradation profiles).
+	rfJitter time.Duration
 }
 
 // New creates a testbed whose randomness derives from seed.
@@ -223,6 +226,15 @@ func (tb *Testbed) EnableCells(n int, contextLossProb float64) {
 		tb.cells = core5g.NewCells(tb.kern, tb.net, n)
 	}
 	tb.cells.ContextLossProb = contextLossProb
+}
+
+// SetEdgeContextLoss overrides the handover context-loss probability for
+// the directed cell edge from → to (call after EnableCells). Edges
+// without an override keep the global probability.
+func (tb *Testbed) SetEdgeContextLoss(from, to int, p float64) {
+	if tb.cells != nil {
+		tb.cells.SetEdgeContextLoss(from, to, p)
+	}
 }
 
 // ServingCell returns the cell currently serving the device (0 before
@@ -345,6 +357,9 @@ func (tb *Testbed) NewDevice(mode Mode, opts ...DeviceOption) *Device {
 		inner.Radio.SetHandlers(func(frame any) {
 			tb.cells.ServingGNB(imsi).HandleUplink(frame)
 		}, inner.Mdm.HandleDownlink)
+	}
+	if tb.rfJitter > 0 {
+		inner.Radio.SetJitter(tb.rfJitter)
 	}
 	d := &Device{tb: tb, inner: inner, mode: mode}
 	// Hooks dispatch through slices so injections and user code can both

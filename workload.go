@@ -1,0 +1,147 @@
+package seed
+
+import (
+	"time"
+
+	"github.com/seed5g/seed/internal/runner"
+	"github.com/seed5g/seed/internal/workload"
+)
+
+// This file executes compiled workload cells (internal/workload) on real
+// testbeds. The split keeps internal/workload pure — spec parsing,
+// compilation, and calibration math with no testbed dependency — while
+// the root package supplies the one thing it cannot: end-to-end replay.
+// Every cell runs on its own testbed from its own compiled seed, so a
+// corpus's outcomes are bit-identical at any parallelism.
+
+// workloadMode maps a spec mode string to a Mode.
+func workloadMode(s string) Mode {
+	switch s {
+	case "seed-u":
+		return ModeSEEDU
+	case "seed-r":
+		return ModeSEEDR
+	default:
+		return ModeLegacy
+	}
+}
+
+// workloadScenario maps spec scenario strings to the dataset's scenario
+// classes (mobility scenarios are handled separately).
+func workloadScenario(s string) FailureScenario {
+	switch s {
+	case workload.ScenDesync:
+		return ScenarioDesync
+	case workload.ScenStaleDevice:
+		return ScenarioStaleConfigDevice
+	case workload.ScenStaleEverywhere:
+		return ScenarioStaleConfigEverywhere
+	case workload.ScenUserAction:
+		return ScenarioUserAction
+	case workload.ScenSilent:
+		return ScenarioSilent
+	default:
+		return ScenarioTransient
+	}
+}
+
+// RunWorkload executes every compiled cell under its population's own
+// failure-handling mode, fanning across the experiment worker pool.
+// Outcome i belongs to cell i regardless of parallelism.
+func RunWorkload(sp *workload.Spec, cells []workload.Cell) []workload.Outcome {
+	return runner.Map(pool(), len(cells), func(i int) workload.Outcome {
+		return runWorkloadCell(sp, cells[i], workloadMode(cells[i].Mode))
+	})
+}
+
+// CalibrationReplay executes cells with legacy handling regardless of
+// population mode — the Figure 2 CDF the calibration targets describe is
+// the legacy baseline. It satisfies workload.ReplayFn.
+func CalibrationReplay(sp *workload.Spec, cells []workload.Cell) []workload.Outcome {
+	return runner.Map(pool(), len(cells), func(i int) workload.Outcome {
+		return runWorkloadCell(sp, cells[i], ModeLegacy)
+	})
+}
+
+func runWorkloadCell(sp *workload.Spec, c workload.Cell, mode Mode) workload.Outcome {
+	if workload.MobilityScenario(c.Scenario) {
+		res, hos, lost := ReplayMobility(MobilityCase{
+			Cells:       sp.Cells.N,
+			DefaultLoss: sp.Cells.DefaultContextLoss,
+			Edges:       sp.Cells.Edges,
+			Hops:        c.Hops,
+			LossyHop:    c.LossyHop,
+			RFJitter:    c.RFJitter,
+		}, mode, c.Seed)
+		return workload.Outcome{
+			Recovered: res.Recovered, Disruption: res.Disruption,
+			UserNotified: res.UserNotified, Handovers: hos, ContextLoss: lost,
+		}
+	}
+	fc := FailureCase{
+		ControlPlane: c.Plane == "control",
+		CauseCode:    c.Code,
+		Scenario:     workloadScenario(c.Scenario),
+		Heal:         c.Heal,
+	}
+	r := ReplayManagementRF(fc, mode, c.Seed, c.RFJitter)
+	return workload.Outcome{Recovered: r.Recovered, Disruption: r.Disruption, UserNotified: r.UserNotified}
+}
+
+// MobilityCase describes one mobility-induced failure scenario: a device
+// walking a multi-cell graph whose hop at LossyHop forcibly loses the
+// context transfer, with the following hop racing the recovery — either
+// the re-registration itself (handover-desync) or SEED's in-flight
+// diagnosis (tau-race), depending on the racing hop's dwell.
+type MobilityCase struct {
+	// Cells / DefaultLoss / Edges describe the graph (workload.CellGraph
+	// vocabulary).
+	Cells       int
+	DefaultLoss float64
+	Edges       []workload.Edge
+	// Hops is the walk; LossyHop indexes the forced-loss handover.
+	Hops     []workload.Hop
+	LossyHop int
+	// RFJitter optionally degrades the radio for the whole case.
+	RFJitter time.Duration
+}
+
+// ReplayMobility boots a multi-cell testbed, connects one device, walks
+// it through the case's handovers, and measures the disruption from the
+// forced context-loss handover until data connectivity returns. Hops
+// before the lossy one may also lose context per the graph's (per-edge)
+// probabilities — that is the point of the knob. It returns the replay
+// result plus the testbed's handover and context-loss counters so callers
+// can merge them into corpus stats.
+func ReplayMobility(mc MobilityCase, mode Mode, seedVal int64) (ReplayResult, int, int) {
+	tb := New(seedVal)
+	tb.EnableCells(mc.Cells, mc.DefaultLoss)
+	for _, e := range mc.Edges {
+		tb.SetEdgeContextLoss(e.From, e.To, e.ContextLoss)
+	}
+	tb.rfJitter = mc.RFJitter
+	d := tb.NewDevice(mode)
+	d.Start()
+	if !tb.RunUntil(d.Connected, connectDeadline) {
+		hos, lost := tb.Handovers()
+		return ReplayResult{}, hos, lost
+	}
+	onset := time.Duration(-1)
+	for i, hop := range mc.Hops {
+		tb.Advance(hop.Dwell)
+		tb.Handover(d, hop.To, i == mc.LossyHop)
+		if i == mc.LossyHop {
+			onset = tb.Now()
+		}
+	}
+	recovered := tb.RunUntil(d.Connected, replayWindow)
+	hos, lost := tb.Handovers()
+	res := ReplayResult{Recovered: recovered, UserNotified: d.UserNoticeCount() > 0}
+	if recovered && onset >= 0 {
+		res.Disruption = tb.Now() - onset
+		if res.Disruption < 0 {
+			res.Disruption = 0
+		}
+	}
+	return res, hos, lost
+}

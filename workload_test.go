@@ -1,0 +1,154 @@
+package seed_test
+
+// End-to-end workload tests: a compiled corpus plus its measured
+// outcomes must be byte-identical at every parallelism level, the
+// mobility-induced failure classes must show the paper's legacy-vs-SEED
+// contrast, and the per-edge context-loss knob must actually steer
+// handover context transfers.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	seed "github.com/seed5g/seed"
+	"github.com/seed5g/seed/internal/workload"
+)
+
+// testSpec is a small mixed workload: transients, a mobility race, and a
+// stale config, across two modes.
+func testSpec() *workload.Spec {
+	return &workload.Spec{
+		Name:       "test-mini",
+		HorizonMin: 20,
+		Cells:      workload.CellGraph{N: 3, DefaultContextLoss: 0.1, Edges: []workload.Edge{{From: 0, To: 1, ContextLoss: 0.4}}},
+		Populations: []workload.Population{
+			{
+				Name: "movers", Count: 3, Mode: "legacy",
+				Arrival: workload.ArrivalSpec{Process: "poisson", RatePerMin: 0.3},
+				Mix: []workload.CauseMix{
+					{Plane: "control", Code: 9, Weight: 0.5, Scenario: workload.ScenTransient, HealMedianMS: 4000, HealSigma: 0.5},
+					{Weight: 0.3, Scenario: workload.ScenHandoverDesync},
+					{Weight: 0.2, Scenario: workload.ScenTAURace},
+				},
+				Mobility: &workload.MobilitySpec{Model: "random-waypoint", HopsMin: 2, HopsMax: 4, DwellMeanSec: 10},
+			},
+			{
+				Name: "fixed", Count: 2, Mode: "seed-u",
+				Arrival: workload.ArrivalSpec{Process: "gamma", RatePerMin: 0.2, Shape: 2},
+				Mix: []workload.CauseMix{
+					{Plane: "data", Code: 54, Weight: 1, Scenario: workload.ScenDesync},
+				},
+				RF: &workload.RFSpec{JitterMS: 1},
+			},
+		},
+	}
+}
+
+// TestWorkloadCorpusParallelDeterminism is the golden gate: the full
+// corpus — spec, cells, measured outcomes, stats — marshals to the same
+// bytes at 1, 2, and 8 workers.
+func TestWorkloadCorpusParallelDeterminism(t *testing.T) {
+	defer seed.SetParallelism(0)
+	sp := testSpec()
+	var golden []byte
+	for _, lvl := range []int{1, 2, 8} {
+		seed.SetParallelism(lvl)
+		cells, err := workload.Compile(sp, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes := seed.RunWorkload(sp, cells)
+		runs := make([]workload.Run, len(outcomes))
+		for i, o := range outcomes {
+			runs[i] = workload.Run{Index: i, Outcome: o}
+		}
+		blob := workload.MarshalCorpus(&workload.Corpus{
+			Spec: sp, Seed: 11, Cells: cells,
+			Runs: runs, Stats: workload.StatsOf(cells, runs),
+		})
+		if golden == nil {
+			golden = blob
+			continue
+		}
+		if string(blob) != string(golden) {
+			t.Fatalf("corpus at parallelism %d differs from the 1-worker corpus", lvl)
+		}
+	}
+	if golden == nil {
+		t.Fatal("no corpus produced")
+	}
+}
+
+// TestMobilityContrast replays the two mobility-induced classes under
+// every stack: legacy recovery rides the T3502 backoff (minutes), SEED
+// diagnoses the lost context and recovers in seconds.
+func TestMobilityContrast(t *testing.T) {
+	mc := seed.MobilityCase{
+		Cells: 3, DefaultLoss: 0,
+		Hops: []workload.Hop{
+			{To: 1, Dwell: 5 * time.Second},
+			{To: 2, Dwell: 300 * time.Millisecond},
+		},
+		LossyHop: 0,
+	}
+	res := map[seed.Mode]seed.ReplayResult{}
+	for _, mode := range []seed.Mode{seed.ModeLegacy, seed.ModeSEEDU, seed.ModeSEEDR} {
+		r, hos, _ := seed.ReplayMobility(mc, mode, 21)
+		if !r.Recovered {
+			t.Fatalf("mode %v did not recover", mode)
+		}
+		if hos < 2 {
+			t.Fatalf("mode %v counted %d handovers, want ≥ 2", mode, hos)
+		}
+		res[mode] = r
+	}
+	if res[seed.ModeLegacy].Disruption < 10*res[seed.ModeSEEDU].Disruption {
+		t.Fatalf("legacy %v vs seed-u %v: want ≥ 10× contrast",
+			res[seed.ModeLegacy].Disruption, res[seed.ModeSEEDU].Disruption)
+	}
+	if res[seed.ModeSEEDU].Disruption > time.Minute || res[seed.ModeSEEDR].Disruption > time.Minute {
+		t.Fatalf("SEED recovery too slow: seed-u %v, seed-r %v",
+			res[seed.ModeSEEDU].Disruption, res[seed.ModeSEEDR].Disruption)
+	}
+}
+
+// TestEdgeContextLoss pins the per-edge knob: probability 1 on an edge
+// loses the context on that handover, probability 0 never does.
+func TestEdgeContextLoss(t *testing.T) {
+	run := func(p float64) (handovers, lost int) {
+		tb := seed.New(31)
+		tb.EnableCells(2, 0)
+		tb.SetEdgeContextLoss(0, 1, p)
+		d := tb.NewDevice(seed.ModeSEEDU)
+		d.Start()
+		if !tb.RunUntil(d.Connected, time.Minute) {
+			t.Fatal("device never connected")
+		}
+		tb.Advance(time.Second)
+		tb.Handover(d, 1, false)
+		tb.RunUntil(d.Connected, 30*time.Minute)
+		return tb.Handovers()
+	}
+	if hos, lost := run(1); hos != 1 || lost != 1 {
+		t.Fatalf("p=1: %d handovers, %d lost, want 1/1", hos, lost)
+	}
+	if hos, lost := run(0); hos != 1 || lost != 0 {
+		t.Fatalf("p=0: %d handovers, %d lost, want 1/0", hos, lost)
+	}
+}
+
+// TestExperimentMobilityDeterminism covers the seedbench registration:
+// same seed ⇒ same rendered table, and both scenario classes appear.
+func TestExperimentMobilityDeterminism(t *testing.T) {
+	a := seed.ExperimentMobility(4, 2).Render()
+	b := seed.ExperimentMobility(4, 2).Render()
+	if a != b {
+		t.Fatal("ExperimentMobility not deterministic")
+	}
+	for _, want := range []string{"handover-desync", "tau-race", "Legacy", "SEED-U", "SEED-R"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("mobility table missing %q:\n%s", want, a)
+		}
+	}
+}
