@@ -4,7 +4,7 @@
 // Usage:
 //
 //	seedbench [-exp all|table1|table2|table3|table4|table5|figure2|figure3|
-//	           figure11a|figure11b|figure12|figure13|coverage|learning|mobility]
+//	           figure11a|figure11b|figure12|figure13|causes|coverage|learning|mobility]
 //	          [-samples N] [-seed S] [-parallel P] [-reps N] [-json FILE]
 //	          [-cpuprofile FILE] [-memprofile FILE] [-freshboot]
 //
@@ -44,6 +44,7 @@ import (
 	"time"
 
 	seed "github.com/seed5g/seed"
+	"github.com/seed5g/seed/internal/metrics"
 )
 
 // expTiming is one experiment's machine-readable record.
@@ -82,10 +83,15 @@ type benchReport struct {
 	TotalWallMS           float64     `json:"total_wall_ms"`
 	TotalSequentialWallMS float64     `json:"total_sequential_wall_ms,omitempty"`
 	TotalSpeedup          float64     `json:"total_speedup,omitempty"`
+	// Causes is the structured per-cause breakdown (present when the
+	// causes experiment ran): disruption percentiles and executed reset
+	// actions per (cause, scheme), priced by the shared cost model the
+	// policy optimizer uses.
+	Causes []metrics.BreakdownRow `json:"causes,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1..5, figure2/3/11a/11b/12/13, coverage, learning, mobility)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..5, figure2/3/11a/11b/12/13, causes, coverage, learning, mobility)")
 	samples := flag.Int("samples", 100, "replayed failure cases per class for the dataset-driven experiments")
 	seedVal := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "scenario worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
@@ -139,6 +145,7 @@ func main() {
 	ds := seed.GenerateDataset(*seedVal)
 
 	var fig2 seed.Figure2Result
+	var causes seed.CausesResult
 	experiments := []struct {
 		name string
 		run  func() string
@@ -157,6 +164,10 @@ func main() {
 		{"figure11b", func() string { return seed.ExperimentFigure11b(*seedVal).Render() }},
 		{"figure12", func() string { return seed.ExperimentFigure12(50, *seedVal).Render() }},
 		{"figure13", func() string { return seed.ExperimentFigure13(*seedVal).Render() }},
+		{"causes", func() string {
+			causes = seed.ExperimentCauses(ds, *samples, *seedVal)
+			return causes.Render()
+		}},
 		{"coverage", func() string { return seed.ExperimentCoverage(ds, *samples, *seedVal).Render() }},
 		{"learning", func() string { return seed.ExperimentLearning(6, 4, 50, *seedVal).Render() }},
 		{"mobility", func() string { return seed.ExperimentMobility(max(8, *samples/10), *seedVal).Render() }},
@@ -314,6 +325,7 @@ func main() {
 			fmt.Printf("[CDF points written to %s]\n", *cdfOut)
 		}
 	}
+	report.Causes = causes.Rows
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, report); err != nil {
 			fmt.Fprintf(os.Stderr, "json: %v\n", err)

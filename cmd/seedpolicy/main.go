@@ -1,0 +1,243 @@
+// Command seedpolicy runs the decision-trace subsystem end to end: it
+// traces Algorithm 1's decisions over the calibrated workload corpus,
+// builds counterfactual reset-tier matrices for the mobility scenario
+// classes, and searches the policy space (grid + evolutionary
+// refinement) for a configuration that beats the paper's.
+//
+// Usage:
+//
+//	seedpolicy [-seed S] [-spec FILE] [-cells N] [-rounds R] [-topk K]
+//	           [-mutants M] [-pins P] [-parallel W] [-trace off|decisions|full]
+//	           [-selfcheck] [-json FILE]
+//
+// The corpus is the calibrated default workload (internal/workload)
+// unless -spec points at a spec JSON. Only SEED-mode, non-user-action
+// cells are scored: a policy cannot change legacy handling, and
+// user-action cells cost every policy the same notice. -cells truncates
+// the evaluation set (corpus order) to bound wall time; the
+// counterfactual anchor cells are found in the full corpus regardless.
+//
+// -selfcheck replays the trace-determinism and counterfactual
+// pin-identity contracts and exits non-zero if either fails: per-cell
+// trace digests must be byte-identical at -parallel 1 and -parallel W,
+// the paper policy's corpus score must be identical at both widths, and
+// pinning a decision to its own baseline proposal must reproduce the
+// baseline trace byte-for-byte.
+//
+// -json writes the BENCH_policy.json document: per-stage decision
+// counts, the counterfactual matrices, and the search result (best
+// found vs paper policy).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/seed5g/seed/internal/core"
+	"github.com/seed5g/seed/internal/policy"
+	"github.com/seed5g/seed/internal/runner"
+	"github.com/seed5g/seed/internal/workload"
+)
+
+// selfCheck is the machine-readable determinism verdict.
+type selfCheck struct {
+	// TraceDeterministic: per-cell trace digests identical at width 1 and
+	// width W.
+	TraceDeterministic bool `json:"trace_deterministic"`
+	// ScoreDeterministic: the paper policy's corpus score identical at
+	// width 1 and width W.
+	ScoreDeterministic bool `json:"score_deterministic"`
+	// PinIdentity: every counterfactual matrix reproduced its baseline
+	// when pinned to the baseline's own proposal.
+	PinIdentity bool     `json:"pin_identity"`
+	Digests     []string `json:"digests"`
+}
+
+// policyReport is the BENCH_policy.json document.
+type policyReport struct {
+	Seed        int64  `json:"seed"`
+	Spec        string `json:"spec"`
+	CorpusCells int    `json:"corpus_cells"`
+	EvalCells   int    `json:"eval_cells"`
+	Parallel    int    `json:"parallel"`
+	TraceLevel  string `json:"trace_level"`
+	// TraceCounts are the per-stage decision counts from the paper-policy
+	// traced pass over the evaluation cells.
+	TraceCounts []policy.StageCount `json:"trace_counts"`
+	// Counterfactuals holds one reset-tier matrix per mobility scenario
+	// class (handover-desync, tau-race).
+	Counterfactuals []policy.Matrix     `json:"counterfactuals"`
+	Search          policy.SearchResult `json:"search"`
+	SelfCheck       *selfCheck          `json:"self_check,omitempty"`
+	WallMS          float64             `json:"wall_ms"`
+}
+
+func main() {
+	seedVal := flag.Int64("seed", 1, "corpus and search seed")
+	specPath := flag.String("spec", "", "workload spec JSON (default: the calibrated paper-mix spec)")
+	maxCells := flag.Int("cells", 48, "evaluation cells (first N eligible in corpus order; 0 = all)")
+	rounds := flag.Int("rounds", 2, "evolutionary refinement rounds after the grid")
+	topK := flag.Int("topk", 3, "survivors carried between rounds")
+	mutants := flag.Int("mutants", 4, "mutants per survivor per round")
+	pins := flag.Int("pins", 2, "decisions pinned per counterfactual matrix")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	traceLevel := flag.String("trace", "full", "trace retention level for the counting pass (off|decisions|full)")
+	check := flag.Bool("selfcheck", false, "verify trace determinism and pin identity; exit non-zero on failure")
+	jsonOut := flag.String("json", "", "write the BENCH_policy.json document to this file (- for stdout)")
+	flag.Parse()
+
+	level, err := core.ParseTraceLevel(*traceLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sp := workload.DefaultSpec()
+	if *specPath != "" {
+		blob, err := os.ReadFile(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spec: %v\n", err)
+			os.Exit(1)
+		}
+		sp, err = workload.ParseSpec(blob)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spec: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pool := runner.New(workers)
+	start := time.Now()
+
+	all, err := workload.Compile(sp, *seedVal)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compile: %v\n", err)
+		os.Exit(1)
+	}
+	cells := policy.EligibleCells(all, *maxCells)
+	if len(cells) == 0 {
+		fmt.Fprintln(os.Stderr, "corpus has no eligible cells (SEED-mode, non-user-action)")
+		os.Exit(1)
+	}
+	report := policyReport{
+		Seed: *seedVal, Spec: sp.Name, CorpusCells: len(all), EvalCells: len(cells),
+		Parallel: workers, TraceLevel: level.String(),
+	}
+	fmt.Printf("corpus %q: %d cells compiled, %d eligible for evaluation\n", sp.Name, len(all), len(cells))
+
+	// (a) Per-decision trace counts: the paper policy traced over the
+	// evaluation cells.
+	paper := policy.Paper()
+	countLevel := level
+	if countLevel == core.TraceOff {
+		countLevel = core.TraceDecisions // counts need a tracer attached
+	}
+	paperScore, counts := policy.Evaluate(pool, sp, cells, paper, countLevel)
+	report.TraceCounts = policy.SortedCounts(counts)
+	fmt.Printf("paper policy: composite %.2fs over %d cells (%d decisions traced)\n",
+		paperScore.Composite, paperScore.Cells, paperScore.TotalDecisions)
+	for _, row := range report.TraceCounts {
+		fmt.Printf("  %-22s %d\n", row.Stage, row.Count)
+	}
+
+	// (b) Counterfactual reset-tier matrices for the mobility classes.
+	pinsOK := true
+	for _, scenario := range []string{workload.ScenHandoverDesync, workload.ScenTAURace} {
+		c, err := policy.FirstCellByScenario(all, scenario)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "counterfactual: %v\n", err)
+			os.Exit(1)
+		}
+		m := policy.Counterfactual(pool, sp, c, paper, *pins)
+		report.Counterfactuals = append(report.Counterfactuals, m)
+		pinsOK = pinsOK && m.PinIdentity
+		fmt.Printf("counterfactual %s (cell %d, %d decisions, pin-identity %v): baseline %.2fs\n",
+			scenario, m.CellIndex, m.Decisions, m.PinIdentity, m.Baseline)
+		for _, row := range m.Rows {
+			best := row.Alternatives[0]
+			for _, alt := range row.Alternatives[1:] {
+				if alt.Composite < best.Composite {
+					best = alt
+				}
+			}
+			fmt.Printf("  seq %d (proposed %s): best alternative %s at %+.2fs\n",
+				row.Seq, row.Proposed, best.Action, best.DeltaS)
+		}
+	}
+
+	// (c) Policy search: grid + refinement, paper policy in the grid.
+	cfg := policy.SearchConfig{
+		Seed: *seedVal, Rounds: *rounds, TopK: *topK, Mutants: *mutants,
+		Progress: func(s string) { fmt.Println("search:", s) },
+	}
+	report.Search = policy.Search(pool, sp, cells, cfg)
+	fmt.Printf("best policy: composite %.2fs vs paper %.2fs (improvement %.2fs over %d evaluations)\n",
+		report.Search.Best.Score.Composite, report.Search.Paper.Score.Composite,
+		report.Search.ImprovementS, report.Search.Evaluated)
+	fmt.Printf("  best: %s\n", report.Search.Best.Policy)
+
+	if *check {
+		report.SelfCheck = runSelfCheck(sp, cells, paper, paperScore, workers, pinsOK)
+		ok := report.SelfCheck.TraceDeterministic && report.SelfCheck.ScoreDeterministic && report.SelfCheck.PinIdentity
+		fmt.Printf("selfcheck: trace-deterministic %v, score-deterministic %v, pin-identity %v\n",
+			report.SelfCheck.TraceDeterministic, report.SelfCheck.ScoreDeterministic, report.SelfCheck.PinIdentity)
+		if !ok {
+			writeReport(*jsonOut, &report, start)
+			os.Exit(1)
+		}
+	}
+	writeReport(*jsonOut, &report, start)
+}
+
+// runSelfCheck replays the determinism contracts at width 1 vs width W.
+func runSelfCheck(sp *workload.Spec, cells []workload.Cell, paper policy.Policy, paperScore policy.Score, workers int, pinsOK bool) *selfCheck {
+	probe := cells
+	if len(probe) > 6 {
+		probe = probe[:6]
+	}
+	digests := func(p *runner.Pool) []string {
+		return runner.Map(p, len(probe), func(i int) string {
+			_, evs := policy.TraceCell(sp, probe[i], paper, nil)
+			return policy.Digest(evs)
+		})
+	}
+	d1 := digests(runner.New(1))
+	dW := digests(runner.New(workers))
+	sc := &selfCheck{TraceDeterministic: true, PinIdentity: pinsOK, Digests: dW}
+	for i := range d1 {
+		if d1[i] != dW[i] {
+			sc.TraceDeterministic = false
+		}
+	}
+	seqScore, _ := policy.Evaluate(runner.New(1), sp, cells, paper, core.TraceDecisions)
+	sc.ScoreDeterministic = seqScore == paperScore
+	return sc
+}
+
+func writeReport(path string, report *policyReport, start time.Time) {
+	report.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if path == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "json: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if path == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("[report written to %s]\n", path)
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/seed5g/seed/internal/cause"
 	"github.com/seed5g/seed/internal/core"
 	"github.com/seed5g/seed/internal/metrics"
+	"github.com/seed5g/seed/internal/runner"
 	"github.com/seed5g/seed/internal/sched"
 	"github.com/seed5g/seed/internal/workload"
 )
@@ -1228,6 +1229,85 @@ func (m MobilityResult) Render() string {
 		fmt.Fprintf(&b, "%-16s %-8s %10.1f %10.1f %6d %6d %5d %5d\n",
 			r.Scenario, r.Mode, r.Median.Seconds(), r.P90.Seconds(),
 			r.Trials, r.Unrecov, r.Handovers, r.ContextLoss)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Causes — per-cause disruption and recovery-action breakdown
+// ---------------------------------------------------------------------------
+
+// CausesResult holds the per-(cause, mode) breakdown: disruption
+// percentiles, executed reset actions, and the shared cost-model means —
+// priced by the same internal/metrics model the policy optimizer
+// minimizes, so a row here and a policy score are directly comparable.
+type CausesResult struct {
+	Rows []metrics.BreakdownRow
+}
+
+// causeBreakdownKey renders one breakdown key: "plane/code mode", so the
+// key-sorted export groups the three schemes under each cause.
+func causeBreakdownKey(fc FailureCase, mode Mode) string {
+	plane := "data"
+	if fc.ControlPlane {
+		plane = "control"
+	}
+	return fmt.Sprintf("%s/%d %s", plane, fc.CauseCode, mode)
+}
+
+// ExperimentCauses replays sampled management failures under all three
+// schemes and breaks the results down per cause code — the drill-down
+// behind Table 4's per-plane aggregates. Each (case, mode) pair is one
+// scenario cell on the worker pool; shard-local Breakdowns merge
+// commutatively, so the rows are identical at any parallelism. The three
+// schemes replay a given case on the same derived seed (a paired
+// comparison, as in Table 4).
+func ExperimentCauses(ds *Dataset, samplesPerPlane int, seedVal int64) CausesResult {
+	type cell struct {
+		key  uint64
+		fc   FailureCase
+		mode Mode
+	}
+	var cells []cell
+	for family, control := range []bool{true, false} {
+		for i, fc := range sampleCases(ds, control, samplesPerPlane) {
+			for _, mode := range Modes {
+				cells = append(cells, cell{key: cellKey(uint64(family), i), fc: fc, mode: mode})
+			}
+		}
+	}
+	acc := runner.Collect(pool(), len(cells), metrics.NewBreakdown,
+		func(i int, b *metrics.Breakdown) {
+			c := cells[i]
+			r := ReplayManagement(c.fc, c.mode, sched.DeriveSeed(seedVal, c.key))
+			b.Add(causeBreakdownKey(c.fc, c.mode), metrics.CostInput{
+				Recovered: r.Recovered, Disruption: r.Disruption,
+				Actions: r.Actions, Reboots: r.Reboots, UserNotified: r.UserNotified,
+			})
+		},
+		func(dst, src *metrics.Breakdown) { dst.Merge(src) })
+	return CausesResult{Rows: acc.Rows()}
+}
+
+// Render formats the breakdown.
+func (c CausesResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Causes: per-cause disruption (s) and recovery-action breakdown\n")
+	fmt.Fprintf(&b, "%-22s %6s %6s %8s %8s %7s %7s  %s\n",
+		"Cause/Handling", "n", "unrec", "median", "p90", "cost", "compos", "actions")
+	for _, r := range c.Rows {
+		var acts []string
+		for _, a := range r.Actions {
+			// "A1/profile-reload" → "A1" keeps the column readable.
+			name := a.Action
+			if len(name) >= 2 {
+				name = name[:2]
+			}
+			acts = append(acts, fmt.Sprintf("%s:%d", name, a.Count))
+		}
+		fmt.Fprintf(&b, "%-22s %6d %6d %8.1f %8.1f %7.1f %7.1f  %s\n",
+			r.Key, r.Cells, r.Cells-r.Recovered, r.MedianS, r.P90S,
+			r.MeanActionCostS, r.MeanCompositeS, strings.Join(acts, " "))
 	}
 	return b.String()
 }

@@ -5,6 +5,7 @@ package seed_test
 // crossovers fall), using reduced sample counts so the suite stays fast.
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -248,7 +249,7 @@ func TestReplayDeterminism(t *testing.T) {
 	fc := ds.Failures()[0]
 	a := seed.ReplayManagement(fc, seed.ModeSEEDU, 5)
 	b := seed.ReplayManagement(fc, seed.ModeSEEDU, 5)
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("replay not deterministic: %+v vs %+v", a, b)
 	}
 }

@@ -69,6 +69,19 @@ type AppletConfig struct {
 	// NaiveFullReset is an ablation arm: ignore the diagnosis and always
 	// reset the whole modem (what a cause-blind design would do).
 	NaiveFullReset bool
+	// TrialOrder overrides the Algorithm 1 trial sequence for unknown
+	// causes (nil means LearningOrder). The policy optimizer searches over
+	// permutations of this order.
+	TrialOrder []ActionID
+}
+
+// trialOrder returns the configured trial sequence (LearningOrder unless
+// a policy override is set).
+func (c *AppletConfig) trialOrder() []ActionID {
+	if len(c.TrialOrder) > 0 {
+		return c.TrialOrder
+	}
+	return LearningOrder
 }
 
 // DefaultAppletConfig returns the paper's timing policy.
@@ -132,7 +145,37 @@ type SEEDApplet struct {
 	records map[recKey]uint16
 	trial   *trialState
 
+	// tracer/override are the decision-trace and counterfactual hooks
+	// (trace.go). Both nil by default: every use is a nil check, so an
+	// uninstrumented run pays nothing and behaves identically.
+	tracer      DecisionTracer
+	traceIMSI   string
+	override    ActionOverride
+	decisionSeq int32
+
 	stats AppletStats
+}
+
+// SetDecisionTracer attaches (or with nil detaches) a decision tracer.
+// id tags emitted events (the device IMSI).
+func (a *SEEDApplet) SetDecisionTracer(t DecisionTracer, id string) {
+	a.tracer = t
+	a.traceIMSI = id
+}
+
+// SetActionOverride installs the counterfactual override hook.
+func (a *SEEDApplet) SetActionOverride(o ActionOverride) { a.override = o }
+
+// Decisions returns how many execution decisions (execute calls, rate-
+// limited or not) the applet has made — the counterfactual pin space.
+func (a *SEEDApplet) Decisions() int { return int(a.decisionSeq) }
+
+// trace emits ev through the attached tracer, stamping time and identity.
+// Callers must guard with a.tracer != nil so the common case stays free.
+func (a *SEEDApplet) trace(ev DecisionEvent) {
+	ev.At = a.k.Now()
+	ev.IMSI = a.traceIMSI
+	a.tracer.Decision(ev)
 }
 
 // NewApplet creates the SEED applet for a card provisioned with in-SIM
@@ -212,9 +255,15 @@ func (a *SEEDApplet) HandleAuthDiagnosis(autn [16]byte) []byte {
 // assistance (Table 3 + §5.2's four assistance types).
 func (a *SEEDApplet) handleDiag(m DiagMessage) {
 	now := a.k.Now()
+	if a.tracer != nil {
+		a.trace(DecisionEvent{Stage: StageDiagReceived, Plane: m.Plane, Code: m.Code, Kind: m.Kind, Seq: -1})
+	}
 	if a.trial != nil && m.Kind != DiagCongestion {
 		// An online-learning trial owns the current failure; concurrent
 		// assistance would double-handle (the §4.4.2 conflict rule).
+		if a.tracer != nil {
+			a.trace(DecisionEvent{Stage: StageTrialConflict, Plane: m.Plane, Code: m.Code, Kind: m.Kind, Seq: -1})
+		}
 		return
 	}
 	switch m.Kind {
@@ -222,16 +271,28 @@ func (a *SEEDApplet) handleDiag(m DiagMessage) {
 		// Do not reset into a congested cell; wait the embedded timer.
 		a.stats.CongestionWaits++
 		a.congestionUntil = now + time.Duration(m.WaitSeconds)*time.Second
+		if a.tracer != nil {
+			a.trace(DecisionEvent{Stage: StageCongestionWait, Plane: m.Plane, Code: m.Code, Kind: m.Kind, Seq: -1, Wait: a.congestionUntil - now})
+		}
 		return
 
 	case DiagSuggestAction:
 		a.markPlaneCause(m.Plane)
 		act := m.Action.ForMode(a.effectiveMode())
+		if a.tracer != nil {
+			a.trace(DecisionEvent{Stage: StageSuggested, Plane: m.Plane, Code: m.Code, Kind: m.Kind, Proposed: m.Action, Action: act, Seq: -1})
+		}
 		if act == ActionA1 || act == ActionB1 || act == ActionA2 || act == ActionB2 {
 			// Hardware/control-plane resets get the 2 s transient window.
 			a.pendingCP.Stop()
+			if a.tracer != nil {
+				a.trace(DecisionEvent{Stage: StageCPlaneArmed, Plane: m.Plane, Code: m.Code, Kind: m.Kind, Action: act, Seq: -1, Wait: a.cfg.CPlaneWait})
+			}
 			a.pendingCP = a.k.After(a.cfg.CPlaneWait, func() {
 				if a.k.Now() < a.congestionUntil {
+					if a.tracer != nil {
+						a.trace(DecisionEvent{Stage: StageCongestionSkip, Action: act, Seq: -1})
+					}
 					return
 				}
 				a.execute(act)
@@ -253,6 +314,9 @@ func (a *SEEDApplet) handleDiag(m DiagMessage) {
 		// Unrecoverable without the user (expired plan, unauthorized
 		// subscriber): notify instead of resetting.
 		a.stats.UserNotices++
+		if a.tracer != nil {
+			a.trace(DecisionEvent{Stage: StageUserNotice, Plane: m.Plane, Code: m.Code, Kind: m.Kind, Seq: -1})
+		}
 		a.card.QueueProactive(sim.ProactiveCommand{
 			Type: sim.ProactiveDisplayText,
 			Text: fmt.Sprintf("Service issue: %s. Please contact your operator.", info.Name),
@@ -277,8 +341,14 @@ func (a *SEEDApplet) markPlaneCause(p cause.Plane) {
 // a recovery signal in the window cancels it.
 func (a *SEEDApplet) scheduleCPlane(m DiagMessage) {
 	a.pendingCP.Stop()
+	if a.tracer != nil {
+		a.trace(DecisionEvent{Stage: StageCPlaneArmed, Plane: m.Plane, Code: m.Code, Kind: m.Kind, Seq: -1, Wait: a.cfg.CPlaneWait})
+	}
 	a.pendingCP = a.k.After(a.cfg.CPlaneWait, func() {
 		if a.k.Now() < a.congestionUntil {
+			if a.tracer != nil {
+				a.trace(DecisionEvent{Stage: StageCongestionSkip, Plane: m.Plane, Code: m.Code, Kind: m.Kind, Seq: -1})
+			}
 			return
 		}
 		if m.Kind == DiagCauseConfig {
@@ -322,6 +392,9 @@ func (a *SEEDApplet) applyCPlaneConfig(kind cause.ConfigKind, cfg []byte) {
 
 func (a *SEEDApplet) handleDPlaneCause(m DiagMessage) {
 	if a.k.Now() < a.congestionUntil {
+		if a.tracer != nil {
+			a.trace(DecisionEvent{Stage: StageCongestionSkip, Plane: m.Plane, Code: m.Code, Kind: m.Kind, Seq: -1})
+		}
 		return
 	}
 	if m.Kind == DiagCauseConfig {
@@ -388,10 +461,19 @@ func (a *SEEDApplet) handleDeliveryReport(r report.FailureReport) {
 	// the last 5 s explains the delivery failure; do not double-handle.
 	if a.hasPlaneCause && now-a.lastPlaneCause < a.cfg.ConflictWindow {
 		a.stats.SuppressedByConflict++
+		if a.tracer != nil {
+			a.trace(DecisionEvent{Stage: StageConflictSuppressed, Seq: -1, Wait: a.cfg.ConflictWindow - (now - a.lastPlaneCause)})
+		}
 		return
 	}
 	if now < a.congestionUntil {
+		if a.tracer != nil {
+			a.trace(DecisionEvent{Stage: StageCongestionSkip, Seq: -1})
+		}
 		return
+	}
+	if a.tracer != nil {
+		a.trace(DecisionEvent{Stage: StageDeliveryReport, Seq: -1})
 	}
 	// Forward the report to the infrastructure for policy checking
 	// (sealed, fragmented into DIAG DNNs).
@@ -411,6 +493,9 @@ func (a *SEEDApplet) handleDeliveryReport(r report.FailureReport) {
 // --- action execution ----------------------------------------------------
 
 // execute runs one multi-tier reset action, subject to rate limiting.
+// Every call consumes one decision-sequence index — including calls the
+// rate limiter suppresses — so a counterfactual override's pin (seq) is
+// stable across the alternatives it explores.
 func (a *SEEDApplet) execute(action ActionID) {
 	if a.cfg.NaiveFullReset && a.trial == nil {
 		// Ablation: collapse every decision to the hardware tier.
@@ -420,11 +505,28 @@ func (a *SEEDApplet) execute(action ActionID) {
 			action = ActionA1
 		}
 	}
+	seq := a.decisionSeq
+	a.decisionSeq++
+	proposed := action
+	if a.override != nil {
+		if alt := a.override(seq, action); alt != 0 {
+			action = alt.ForMode(a.effectiveMode())
+			if action != proposed && a.tracer != nil {
+				a.trace(DecisionEvent{Stage: StageOverridden, Proposed: proposed, Action: action, Seq: seq})
+			}
+		}
+	}
 	now := a.k.Now()
 	if last, seen := a.lastAction[action]; seen && now-last < a.cfg.RateLimitGap {
+		if a.tracer != nil {
+			a.trace(DecisionEvent{Stage: StageRateLimited, Proposed: proposed, Action: action, Seq: seq, Wait: a.cfg.RateLimitGap - (now - last)})
+		}
 		return
 	}
 	a.lastAction[action] = now
+	if a.tracer != nil {
+		a.trace(DecisionEvent{Stage: StageExecute, Proposed: proposed, Action: action, Seq: seq})
+	}
 	if a.stats.Actions == nil {
 		a.stats.Actions = make(map[ActionID]int)
 	}
@@ -474,7 +576,12 @@ func (a *SEEDApplet) runAT(cmd string) {
 // carrier-app "connectivity validated" notification. It cancels a pending
 // control-plane reset (the 2 s transient window) and resolves trials.
 func (a *SEEDApplet) notifyRecovered() {
-	a.pendingCP.Stop()
+	if a.pendingCP.Stop() && a.tracer != nil {
+		a.trace(DecisionEvent{Stage: StageCPlaneCancelled, Seq: -1})
+	}
+	if a.tracer != nil {
+		a.trace(DecisionEvent{Stage: StageRecovered, Seq: -1})
+	}
 	if a.trial != nil {
 		t := a.trial
 		a.trial = nil
@@ -483,6 +590,9 @@ func (a *SEEDApplet) notifyRecovered() {
 		key := recKey{plane: t.c.Plane, code: t.c.Code, action: t.last}
 		a.records[key]++
 		a.stats.TrialsResolved++
+		if a.tracer != nil {
+			a.trace(DecisionEvent{Stage: StageTrialResolved, Plane: t.c.Plane, Code: t.c.Code, Action: t.last, Seq: -1})
+		}
 		a.persistRecords()
 	}
 }
@@ -501,6 +611,9 @@ func (a *SEEDApplet) startTrial(c cause.Cause) {
 		return // one trial at a time
 	}
 	a.stats.TrialsStarted++
+	if a.tracer != nil {
+		a.trace(DecisionEvent{Stage: StageTrialStart, Plane: c.Plane, Code: c.Code, Seq: -1})
+	}
 	a.trial = &trialState{c: c, idx: -1}
 	a.advanceTrial()
 }
@@ -510,22 +623,29 @@ func (a *SEEDApplet) advanceTrial() {
 	if t == nil {
 		return
 	}
+	order := a.cfg.trialOrder()
 	var prev ActionID
 	if t.idx >= 0 {
-		prev = LearningOrder[t.idx].ForMode(a.effectiveMode())
+		prev = order[t.idx].ForMode(a.effectiveMode())
 	}
 	for {
 		t.idx++
-		if t.idx >= len(LearningOrder) {
+		if t.idx >= len(order) {
 			a.trial = nil // exhausted: give up (would notify the user)
+			if a.tracer != nil {
+				a.trace(DecisionEvent{Stage: StageTrialExhausted, Plane: t.c.Plane, Code: t.c.Code, Seq: -1})
+			}
 			return
 		}
-		next := LearningOrder[t.idx].ForMode(a.effectiveMode())
+		next := order[t.idx].ForMode(a.effectiveMode())
 		if next == prev {
 			continue // mode folding made this a duplicate of the last try
 		}
 		t.last = next
 		break
+	}
+	if a.tracer != nil {
+		a.trace(DecisionEvent{Stage: StageTrialStep, Plane: t.c.Plane, Code: t.c.Code, Action: t.last, Seq: -1, Wait: a.cfg.TrialWindow})
 	}
 	a.execute(t.last)
 	t.timer = a.k.After(a.cfg.TrialWindow, a.advanceTrial)

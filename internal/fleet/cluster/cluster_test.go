@@ -53,8 +53,8 @@ func TestMapUnmarshalRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
 		nil,
 		{1, 2, 3},
-		New(1, threeNodes(), 0).Marshal()[:15],                     // truncated node entry
-		append(New(1, threeNodes(), 0).Marshal(), 0xFF),            // trailing byte
+		New(1, threeNodes(), 0).Marshal()[:15], // truncated node entry
+		append(New(1, threeNodes(), 0).Marshal(), 0xFF),           // trailing byte
 		{0, 0, 0, 0, 0, 0, 0, 1, 0, 64, 0, 0},                     // zero nodes
 		append([]byte{0, 0, 0, 0, 0, 0, 0, 1, 0, 64, 0, 1}, 0, 0), // empty id
 	}

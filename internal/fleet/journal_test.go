@@ -377,8 +377,31 @@ func TestJournalCleanShutdownReplaysNothing(t *testing.T) {
 
 // TestJournalGroupCommitBatches drives concurrent uploads through one
 // shard and checks the fsync count stayed below the record count — the
-// group commit actually amortizes.
+// group commit actually amortizes. Whether a batch forms races the
+// scheduler: on a loaded single-core machine the shard worker can win
+// every queue-drain race and legitimately sync once per record, so the
+// burst retries on a fresh server until a batch is observed.
 func TestJournalGroupCommitBatches(t *testing.T) {
+	const n, attempts = 64, 5
+	for attempt := 1; ; attempt++ {
+		syncs, records := journalBurst(t, n)
+		if records != n {
+			t.Fatalf("journaled %d records, want %d", records, n)
+		}
+		if syncs < records {
+			t.Logf("group commit: %d records in %d syncs (attempt %d)", records, syncs, attempt)
+			return
+		}
+		if attempt == attempts {
+			t.Fatalf("no batching in %d attempts: %d syncs for %d records", attempts, syncs, records)
+		}
+	}
+}
+
+// journalBurst uploads n records concurrently through a fresh one-shard
+// journaling server and reports its sync/record counters.
+func journalBurst(t *testing.T, n int) (syncs, records uint64) {
+	t.Helper()
 	dir := t.TempDir()
 	cfg := ServerConfig{Shards: 1, QueueDepth: 256, JournalDir: dir}
 	srv, cl := startJournalServer(t, cfg)
@@ -389,7 +412,6 @@ func TestJournalGroupCommitBatches(t *testing.T) {
 	defer func() { _ = srv.Shutdown() }()
 	defer cl.Close()
 
-	const n = 64
 	errs := make(chan error, n)
 	for i := 0; i < n; i++ {
 		go func(i int) {
@@ -407,13 +429,7 @@ func TestJournalGroupCommitBatches(t *testing.T) {
 		}
 	}
 	st := srv.Stats()
-	if st.JournalRecords != n {
-		t.Fatalf("journaled %d records, want %d", st.JournalRecords, n)
-	}
-	if st.JournalSyncs >= st.JournalRecords {
-		t.Fatalf("no batching: %d syncs for %d records", st.JournalSyncs, st.JournalRecords)
-	}
-	t.Logf("group commit: %d records in %d syncs", st.JournalRecords, st.JournalSyncs)
+	return st.JournalSyncs, st.JournalRecords
 }
 
 // TestModelUnmarshalRejectsEmptySnapshotModel guards UnmarshalModel's use

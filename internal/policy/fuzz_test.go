@@ -1,0 +1,37 @@
+package policy
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode drives arbitrary bytes through the trace codec. Decode may
+// reject but must not panic, and anything it accepts must re-encode
+// canonically: Encode(Decode(x)) decodes back to the same events, and a
+// second round trip is byte-stable (the fixed point of the codec).
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(nil))
+	f.Add(Encode(codecEvents()))
+	f.Add([]byte(codecHeader + "\n1 2 \"i\" 0 0 0 0 0 -1 0 0\n"))
+	f.Add([]byte(codecHeader + "\n1 2 \"a b\" 0 0 0 0 0 -1 0 0\n"))
+	f.Add([]byte("not a trace"))
+	f.Add([]byte(codecHeader + "\n1 2 3\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := Decode(data)
+		if err != nil {
+			return
+		}
+		canon := Encode(evs)
+		again, err := Decode(canon)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v", err)
+		}
+		if !reflect.DeepEqual(again, evs) {
+			t.Fatalf("round trip changed events:\n%+v\nvs\n%+v", again, evs)
+		}
+		if !bytes.Equal(Encode(again), canon) {
+			t.Fatal("canonical encoding not a fixed point")
+		}
+	})
+}

@@ -40,6 +40,10 @@ type Cell struct {
 	Heal     time.Duration `json:"heal_ns,omitempty"`
 	// RFJitter is the population's radio-degradation profile.
 	RFJitter time.Duration `json:"rf_jitter_ns,omitempty"`
+	// LossWindows/PartitionWindows are the population's scheduled RF
+	// impairment windows (offsets relative to cell start).
+	LossWindows      []LossWindow      `json:"loss_windows,omitempty"`
+	PartitionWindows []PartitionWindow `json:"partition_windows,omitempty"`
 	// Hops/LossyHop describe the mobility walk (mobility scenarios only);
 	// LossyHop is -1 for non-mobility cells.
 	Hops     []Hop `json:"hops,omitempty"`
@@ -86,6 +90,8 @@ func Compile(sp *Spec, rootSeed int64) ([]Cell, error) {
 				}
 				if p.RF != nil {
 					c.RFJitter = time.Duration(p.RF.JitterMS * float64(time.Millisecond))
+					c.LossWindows = p.RF.LossWindows
+					c.PartitionWindows = p.RF.PartitionWindows
 				}
 				if MobilityScenario(m.Scenario) {
 					// Mobility failures are cause-9 registration rejects by
@@ -148,6 +154,15 @@ type Outcome struct {
 	// counters (mobility scenarios only).
 	Handovers   int `json:"handovers,omitempty"`
 	ContextLoss int `json:"context_loss,omitempty"`
+	// Actions counts the reset actions the cell's device executed, keyed
+	// by action name (SEED modes only) — the per-cause breakdown and
+	// policy recovery-cost input.
+	Actions map[string]int `json:"actions,omitempty"`
+	// Reboots is the modem reboot count (user-visible impact).
+	Reboots int `json:"reboots,omitempty"`
+	// Decisions is the applet's execution-decision count (the
+	// counterfactual pin space).
+	Decisions int `json:"decisions,omitempty"`
 }
 
 // Run is one measured cell: the outcome tagged with the cell index it

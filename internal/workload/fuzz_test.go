@@ -11,6 +11,7 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add([]byte(MarshalSpec(DefaultSpec())))
 	f.Add([]byte(MarshalSpec(miniSpec())))
 	f.Add([]byte(`{"name":"x","horizon_min":1,"populations":[{"name":"p","count":1,"mode":"legacy","arrival":{"process":"poisson","rate_per_min":1},"failure_mix":[{"plane":"control","code":9,"weight":1,"scenario":"desync"}]}]}`))
+	f.Add([]byte(MarshalSpec(rfWindowSpec())))
 	f.Add([]byte(`{"name": "x", "bogus": 1}`))
 	f.Add([]byte(`{"name": "x"} trailing`))
 	f.Add([]byte(`{"horizon_min": 1e308}`))

@@ -161,12 +161,36 @@ type MobilitySpec struct {
 type RFSpec struct {
 	// JitterMS adds uniform per-frame radio jitter (netemu link knob).
 	JitterMS float64 `json:"jitter_ms"`
+	// LossWindows schedules per-frame loss during [at, at+dur) of every
+	// cell of the population (offsets relative to cell start). Windows
+	// must be in ascending, non-overlapping order.
+	LossWindows []LossWindow `json:"loss_windows,omitempty"`
+	// PartitionWindows takes the radio link fully down for the window.
+	// Same ordering rules as LossWindows.
+	PartitionWindows []PartitionWindow `json:"partition_windows,omitempty"`
+}
+
+// LossWindow is one scheduled radio-loss window.
+type LossWindow struct {
+	AtSec  float64 `json:"at_sec"`
+	DurSec float64 `json:"dur_sec"`
+	// Loss is the per-frame drop probability while the window is open.
+	Loss float64 `json:"loss"`
+}
+
+// PartitionWindow is one scheduled full radio partition.
+type PartitionWindow struct {
+	AtSec  float64 `json:"at_sec"`
+	DurSec float64 `json:"dur_sec"`
 }
 
 // MaxCells bounds the expected compiled corpus size; Validate rejects
 // specs whose expected event count exceeds it (guards fuzzed input and CI
 // runs alike).
 const MaxCells = 200000
+
+// maxWindowSec bounds scheduled RF windows to the replay window (90 min).
+const maxWindowSec = 5400.0
 
 var validScenarios = map[string]bool{
 	ScenTransient: true, ScenDesync: true, ScenStaleDevice: true,
@@ -277,6 +301,35 @@ func (sp *Spec) Validate() error {
 		if p.RF != nil {
 			if bad(p.RF.JitterMS) || p.RF.JitterMS < 0 || p.RF.JitterMS > 1000 {
 				return fmt.Errorf("workload: population %q rf.jitter_ms %v outside [0, 1000]", p.Name, p.RF.JitterMS)
+			}
+			prevEnd := -1.0
+			for i, w := range p.RF.LossWindows {
+				if bad(w.AtSec) || w.AtSec < 0 || w.AtSec > maxWindowSec {
+					return fmt.Errorf("workload: population %q rf.loss_windows[%d].at_sec %v outside [0, 5400]", p.Name, i, w.AtSec)
+				}
+				if bad(w.DurSec) || !(w.DurSec > 0) || w.DurSec > maxWindowSec {
+					return fmt.Errorf("workload: population %q rf.loss_windows[%d].dur_sec %v outside (0, 5400]", p.Name, i, w.DurSec)
+				}
+				if bad(w.Loss) || !(w.Loss > 0) || w.Loss > 1 {
+					return fmt.Errorf("workload: population %q rf.loss_windows[%d].loss %v outside (0, 1]", p.Name, i, w.Loss)
+				}
+				if w.AtSec < prevEnd {
+					return fmt.Errorf("workload: population %q rf.loss_windows[%d] overlaps the previous window", p.Name, i)
+				}
+				prevEnd = w.AtSec + w.DurSec
+			}
+			prevEnd = -1.0
+			for i, w := range p.RF.PartitionWindows {
+				if bad(w.AtSec) || w.AtSec < 0 || w.AtSec > maxWindowSec {
+					return fmt.Errorf("workload: population %q rf.partition_windows[%d].at_sec %v outside [0, 5400]", p.Name, i, w.AtSec)
+				}
+				if bad(w.DurSec) || !(w.DurSec > 0) || w.DurSec > maxWindowSec {
+					return fmt.Errorf("workload: population %q rf.partition_windows[%d].dur_sec %v outside (0, 5400]", p.Name, i, w.DurSec)
+				}
+				if w.AtSec < prevEnd {
+					return fmt.Errorf("workload: population %q rf.partition_windows[%d] overlaps the previous window", p.Name, i)
+				}
+				prevEnd = w.AtSec + w.DurSec
 			}
 		}
 		expected += float64(p.Count) * p.Arrival.peakRate() * sp.HorizonMin

@@ -29,6 +29,44 @@ func miniSpec() *Spec {
 	}
 }
 
+// rfWindowSpec is miniSpec with scheduled RF impairment windows — the
+// fuzz seed and compile-carry fixture for the window feature.
+func rfWindowSpec() *Spec {
+	sp := miniSpec()
+	sp.Populations[0].Mode = "seed-u"
+	sp.Populations[0].RF = &RFSpec{
+		JitterMS: 5,
+		LossWindows: []LossWindow{
+			{AtSec: 1, DurSec: 4, Loss: 0.4},
+			{AtSec: 8, DurSec: 2, Loss: 1},
+		},
+		PartitionWindows: []PartitionWindow{{AtSec: 12, DurSec: 3}},
+	}
+	return sp
+}
+
+func TestCompileCarriesRFWindows(t *testing.T) {
+	sp := rfWindowSpec()
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("rf window spec invalid: %v", err)
+	}
+	cells, err := Compile(sp, 7)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, c := range cells {
+		if len(c.LossWindows) != 2 || len(c.PartitionWindows) != 1 {
+			t.Fatalf("cell %d windows not carried: %+v", c.Index, c)
+		}
+		if c.LossWindows[1] != (LossWindow{AtSec: 8, DurSec: 2, Loss: 1}) {
+			t.Fatalf("cell %d loss window mangled: %+v", c.Index, c.LossWindows[1])
+		}
+	}
+}
+
 func TestValidateAcceptsDefaultAndMini(t *testing.T) {
 	if err := DefaultSpec().Validate(); err != nil {
 		t.Fatalf("default spec invalid: %v", err)
@@ -97,6 +135,32 @@ func TestValidationErrors(t *testing.T) {
 		{"too many hops", func(s *Spec) { s.Populations[0].Mobility.HopsMax = 99 }, "mobility hops [2, 99] outside"},
 		{"zero dwell", func(s *Spec) { s.Populations[0].Mobility.DwellMeanSec = 0 }, "mobility dwell_mean_sec 0 outside (0, 3600]"},
 		{"rf jitter out of range", func(s *Spec) { s.Populations[0].RF = &RFSpec{JitterMS: -1} }, "rf.jitter_ms -1 outside [0, 1000]"},
+		{"loss window negative at", func(s *Spec) {
+			s.Populations[0].RF = &RFSpec{LossWindows: []LossWindow{{AtSec: -1, DurSec: 5, Loss: 0.5}}}
+		}, "rf.loss_windows[0].at_sec -1 outside [0, 5400]"},
+		{"loss window zero duration", func(s *Spec) {
+			s.Populations[0].RF = &RFSpec{LossWindows: []LossWindow{{AtSec: 1, DurSec: 0, Loss: 0.5}}}
+		}, "rf.loss_windows[0].dur_sec 0 outside (0, 5400]"},
+		{"loss window zero loss", func(s *Spec) {
+			s.Populations[0].RF = &RFSpec{LossWindows: []LossWindow{{AtSec: 1, DurSec: 5, Loss: 0}}}
+		}, "rf.loss_windows[0].loss 0 outside (0, 1]"},
+		{"loss window NaN loss", func(s *Spec) {
+			s.Populations[0].RF = &RFSpec{LossWindows: []LossWindow{{AtSec: 1, DurSec: 5, Loss: math.NaN()}}}
+		}, "rf.loss_windows[0].loss NaN outside (0, 1]"},
+		{"loss windows overlapping", func(s *Spec) {
+			s.Populations[0].RF = &RFSpec{LossWindows: []LossWindow{
+				{AtSec: 1, DurSec: 5, Loss: 0.5}, {AtSec: 3, DurSec: 5, Loss: 0.5}}}
+		}, "rf.loss_windows[1] overlaps the previous window"},
+		{"partition window late at", func(s *Spec) {
+			s.Populations[0].RF = &RFSpec{PartitionWindows: []PartitionWindow{{AtSec: 9999, DurSec: 5}}}
+		}, "rf.partition_windows[0].at_sec 9999 outside [0, 5400]"},
+		{"partition window zero duration", func(s *Spec) {
+			s.Populations[0].RF = &RFSpec{PartitionWindows: []PartitionWindow{{AtSec: 1, DurSec: 0}}}
+		}, "rf.partition_windows[0].dur_sec 0 outside (0, 5400]"},
+		{"partition windows overlapping", func(s *Spec) {
+			s.Populations[0].RF = &RFSpec{PartitionWindows: []PartitionWindow{
+				{AtSec: 1, DurSec: 5}, {AtSec: 2, DurSec: 1}}}
+		}, "rf.partition_windows[1] overlaps the previous window"},
 		{"corpus too big", func(s *Spec) {
 			s.Populations[0].Count = 100000
 			s.Populations[0].Arrival.RatePerMin = 1000

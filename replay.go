@@ -20,6 +20,23 @@ type ReplayResult struct {
 	UserNotified bool
 	// UserActionRequired marks cases no automatic reset can fix.
 	UserActionRequired bool
+	// Actions counts the multi-tier reset actions executed, keyed by
+	// action name (empty for legacy devices) — the per-cause breakdown
+	// and policy recovery-cost input.
+	Actions map[string]int
+	// Reboots is the modem reboot count (legacy ladder escalations and
+	// B1 resets) — the user-visible-impact input.
+	Reboots int
+	// Decisions is the applet's execution-decision count: the
+	// counterfactual pin space for this cell.
+	Decisions int
+}
+
+// captureDevice fills the result's device-side counters.
+func (r *ReplayResult) captureDevice(d *Device) {
+	r.Actions = d.ActionCounts()
+	r.Reboots = d.Reboots()
+	r.Decisions = d.Decisions()
 }
 
 // replayWindow bounds how long a management replay may run (the legacy
@@ -44,18 +61,57 @@ func ReplayManagement(fc FailureCase, mode Mode, seedVal int64) ReplayResult {
 // replay (the workload generator's RF profiles). rfJitter == 0 is exactly
 // ReplayManagement.
 func ReplayManagementRF(fc FailureCase, mode Mode, seedVal int64, rfJitter time.Duration) ReplayResult {
+	return ReplayManagementInst(fc, mode, seedVal, RFProfile{Jitter: rfJitter}, nil)
+}
+
+// RFProfile bundles a cell's radio-degradation profile: uniform per-frame
+// jitter plus scheduled loss/partition windows (offsets relative to the
+// cell's start).
+type RFProfile struct {
+	Jitter  time.Duration
+	Windows []RFWindow
+}
+
+// ReplayManagementInst is ReplayManagementRF under a full RF profile and
+// an optional Instrument: decision tracing, counterfactual overrides, and
+// policy knobs. inst == nil with an empty profile is exactly
+// ReplayManagement (the TraceOff path, untouched). Instrumented cells
+// cannot share the pooled prototypes (their applet config and hooks are
+// per-cell), so scenarios that normally clone fresh-boot under the
+// identical seed protocol instead — fixed boot seed, Reseed at the same
+// post-boot instant — which keeps a pure-observer instrumented run
+// byte-comparable to the cloned uninstrumented one.
+func ReplayManagementInst(fc FailureCase, mode Mode, seedVal int64, rf RFProfile, inst *Instrument) ReplayResult {
 	if fc.Scenario == ScenarioDesync {
-		tb, d, put := bareProtos.Proto(mode).Cell(seedVal)
-		defer put()
-		if rfJitter > 0 {
-			// The prototype restore rewinds the link on the next acquire,
-			// so the profile applies to this cell only.
-			d.inner.Radio.SetJitter(rfJitter)
+		if inst == nil {
+			tb, d, put := bareProtos.Proto(mode).Cell(seedVal)
+			defer put()
+			if rf.Jitter > 0 {
+				// The prototype restore rewinds the link on the next
+				// acquire, so the profile applies to this cell only.
+				d.inner.Radio.SetJitter(rf.Jitter)
+			}
+			// Window events scheduled post-acquire are likewise rewound
+			// with the kernel snapshot on the next acquire.
+			tb.armRFWindows(d.inner, rf.Windows)
+			return replayDesyncOn(tb, d)
 		}
+		tb := New(protoBootSeed)
+		tb.SetInstrument(inst)
+		d := tb.NewDevice(mode)
+		d.Start()
+		tb.RunUntil(d.Connected, connectDeadline)
+		tb.Reseed(seedVal)
+		if rf.Jitter > 0 {
+			d.inner.Radio.SetJitter(rf.Jitter)
+		}
+		tb.armRFWindows(d.inner, rf.Windows)
 		return replayDesyncOn(tb, d)
 	}
 	tb := New(seedVal)
-	tb.rfJitter = rfJitter
+	tb.rfJitter = rf.Jitter
+	tb.rfWindows = rf.Windows
+	tb.SetInstrument(inst)
 	switch fc.Scenario {
 	case ScenarioTransient, ScenarioSilent:
 		return tb.replayInjected(fc, mode)
@@ -97,14 +153,18 @@ func (tb *Testbed) measureFromBoot(mode Mode, prep func(d *Device), opts ...Devi
 		// procedure instant — boot + profile read + list search.
 		onset = 1140 * time.Millisecond
 	}
+	res := ReplayResult{UserNotified: d.UserNoticeCount() > 0}
+	res.captureDevice(d)
 	if !connected {
-		return ReplayResult{Recovered: false, UserNotified: d.UserNoticeCount() > 0}
+		return res
 	}
 	dis := tb.Now() - onset
 	if dis < 0 {
 		dis = 0
 	}
-	return ReplayResult{Recovered: true, Disruption: dis, UserNotified: d.UserNoticeCount() > 0}
+	res.Recovered = true
+	res.Disruption = dis
+	return res
 }
 
 // replayInjected handles transient and silent cases via reject rules that
@@ -133,10 +193,12 @@ func replayDesyncOn(tb *Testbed, d *Device) ReplayResult {
 	// Run one event so the connectivity drop registers, then wait for
 	// recovery.
 	recovered := tb.RunUntil(func() bool { return tb.Now() > onset && d.Connected() }, replayWindow)
-	if !recovered {
-		return ReplayResult{Recovered: false}
+	res := ReplayResult{Recovered: recovered}
+	res.captureDevice(d)
+	if recovered {
+		res.Disruption = tb.Now() - onset
 	}
-	return ReplayResult{Recovered: true, Disruption: tb.Now() - onset}
+	return res
 }
 
 // replayStaleDNN reproduces the outdated-APN failure: the subscription
@@ -208,11 +270,13 @@ func (tb *Testbed) replayUserAction(fc FailureCase, mode Mode) ReplayResult {
 	}
 	d.Start()
 	tb.Advance(2 * time.Minute)
-	return ReplayResult{
+	res := ReplayResult{
 		Recovered:          d.Connected(),
 		UserActionRequired: true,
 		UserNotified:       d.UserNoticeCount() > 0,
 	}
+	res.captureDevice(d)
+	return res
 }
 
 // DeliveryReplayResult is the outcome of a data-delivery replay.

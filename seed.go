@@ -129,6 +129,47 @@ type Testbed struct {
 	// rfJitter, when set, is applied to every new device's radio link (the
 	// workload generator's RF-degradation profiles).
 	rfJitter time.Duration
+	// rfWindows schedules radio loss/partition windows on every new
+	// device's link (the workload generator's scheduled RF profiles).
+	rfWindows []RFWindow
+	// instrument, when set, attaches decision tracing, counterfactual
+	// overrides, and policy knobs to every new SEED device.
+	instrument *Instrument
+}
+
+// Instrument bundles the decision-trace subsystem's hooks: a tracer
+// receiving structured Algorithm 1 decision events, a counterfactual
+// action override, and the policy knobs (applet timers/trial order,
+// learner rate) a replay applies to every SEED device it creates. A nil
+// *Instrument is the zero-overhead TraceOff configuration.
+type Instrument struct {
+	// Tracer receives every decision event (core.TraceLevel filtering is
+	// the tracer's concern). Must be a pure observer: no RNG, no state.
+	Tracer core.DecisionTracer
+	// Override is the counterfactual hook applied at each execution
+	// decision (see core.ActionOverride).
+	Override core.ActionOverride
+	// Applet mutates each new SEED device's applet config before the
+	// device is built (policy timers and trial order).
+	Applet func(*core.AppletConfig)
+	// LearnerLR overrides the infrastructure learner's rate (0 keeps the
+	// paper's default).
+	LearnerLR float64
+}
+
+// SetInstrument attaches inst to the testbed: the infrastructure plugin
+// is instrumented immediately, devices as they are created. Call before
+// NewDevice. Passing nil detaches the plugin tracer.
+func (tb *Testbed) SetInstrument(inst *Instrument) {
+	tb.instrument = inst
+	if inst == nil {
+		tb.plugin.SetDecisionTracer(nil)
+		return
+	}
+	tb.plugin.SetDecisionTracer(inst.Tracer)
+	if inst.LearnerLR > 0 {
+		tb.plugin.Learner.LR = inst.LearnerLR
+	}
 }
 
 // New creates a testbed whose randomness derives from seed.
@@ -270,6 +311,54 @@ func (tb *Testbed) Handovers() (int, int) {
 	return tb.cells.Stats()
 }
 
+// RFWindow is one scheduled radio-impairment window: from At for Dur the
+// device's radio link either drops frames with probability Loss or is
+// fully partitioned (the workload generator's scheduled RF profiles).
+type RFWindow struct {
+	At  time.Duration
+	Dur time.Duration
+	// Loss is the per-frame drop probability while the window is open
+	// (ignored when Partition is set).
+	Loss float64
+	// Partition takes the link fully down for the window.
+	Partition bool
+}
+
+// SetRFWindows schedules radio loss/partition windows for every device
+// created afterwards. Offsets are relative to device creation.
+func (tb *Testbed) SetRFWindows(ws []RFWindow) { tb.rfWindows = ws }
+
+// scheduleRFWindows arms a new device's radio-impairment windows.
+func (tb *Testbed) scheduleRFWindows(inner *core.Device) {
+	tb.armRFWindows(inner, tb.rfWindows)
+}
+
+// armRFWindows schedules ws on the device's radio relative to the current
+// virtual time (device creation for fresh cells, the post-boot instant for
+// cloned ones). Windows close back to a healthy link (loss 0 / up);
+// overlapping windows are not merged — the last transition wins, matching
+// the declarative spec's validated non-overlapping windows.
+func (tb *Testbed) armRFWindows(inner *core.Device, ws []RFWindow) {
+	for _, w := range ws {
+		w := w
+		radio := inner.Radio
+		tb.kern.After(w.At, func() {
+			if w.Partition {
+				radio.SetDown(true)
+			} else {
+				radio.SetLoss(w.Loss)
+			}
+		})
+		tb.kern.After(w.At+w.Dur, func() {
+			if w.Partition {
+				radio.SetDown(false)
+			} else {
+				radio.SetLoss(0)
+			}
+		})
+	}
+}
+
 // DeviceOption customizes a device at creation.
 type DeviceOption func(*core.DeviceConfig)
 
@@ -338,6 +427,9 @@ func (tb *Testbed) NewDevice(mode Mode, opts ...DeviceOption) *Device {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if tb.instrument != nil && tb.instrument.Applet != nil && mode != ModeLegacy {
+		tb.instrument.Applet(&cfg.Applet)
+	}
 	inner, err := core.NewDevice(tb.kern, cfg, tb.net)
 	if err != nil {
 		panic(fmt.Sprintf("seed: building device %s: %v", imsi, err))
@@ -360,6 +452,15 @@ func (tb *Testbed) NewDevice(mode Mode, opts ...DeviceOption) *Device {
 	}
 	if tb.rfJitter > 0 {
 		inner.Radio.SetJitter(tb.rfJitter)
+	}
+	tb.scheduleRFWindows(inner)
+	if tb.instrument != nil && inner.Applet != nil {
+		if tb.instrument.Tracer != nil {
+			inner.Applet.SetDecisionTracer(tb.instrument.Tracer, imsi)
+		}
+		if tb.instrument.Override != nil {
+			inner.Applet.SetActionOverride(tb.instrument.Override)
+		}
 	}
 	d := &Device{tb: tb, inner: inner, mode: mode}
 	// Hooks dispatch through slices so injections and user code can both
@@ -488,6 +589,15 @@ func (d *Device) DiagnosesReceived() int {
 		return 0
 	}
 	return d.inner.Applet.Stats().DiagsReceived
+}
+
+// Decisions returns how many Algorithm 1 execution decisions the applet
+// made — the counterfactual pin space (0 in legacy mode).
+func (d *Device) Decisions() int {
+	if d.inner.Applet == nil {
+		return 0
+	}
+	return d.inner.Applet.Decisions()
 }
 
 // ActionCounts returns the multi-tier reset actions executed, keyed by

@@ -64,19 +64,25 @@ func CalibrationReplay(sp *workload.Spec, cells []workload.Cell) []workload.Outc
 }
 
 func runWorkloadCell(sp *workload.Spec, c workload.Cell, mode Mode) workload.Outcome {
+	return RunWorkloadCell(sp, c, mode, nil)
+}
+
+// RunWorkloadCell executes one compiled cell under mode with an optional
+// instrument (nil is the plain TraceOff path). The policy subsystem's
+// counterfactual replayer and search loop enter here so a policy's score
+// and the workload bench measure cells through one code path.
+func RunWorkloadCell(sp *workload.Spec, c workload.Cell, mode Mode, inst *Instrument) workload.Outcome {
 	if workload.MobilityScenario(c.Scenario) {
-		res, hos, lost := ReplayMobility(MobilityCase{
+		res, hos, lost := ReplayMobilityInst(MobilityCase{
 			Cells:       sp.Cells.N,
 			DefaultLoss: sp.Cells.DefaultContextLoss,
 			Edges:       sp.Cells.Edges,
 			Hops:        c.Hops,
 			LossyHop:    c.LossyHop,
 			RFJitter:    c.RFJitter,
-		}, mode, c.Seed)
-		return workload.Outcome{
-			Recovered: res.Recovered, Disruption: res.Disruption,
-			UserNotified: res.UserNotified, Handovers: hos, ContextLoss: lost,
-		}
+			RFWindows:   cellRFWindows(c),
+		}, mode, c.Seed, inst)
+		return outcomeOf(res, hos, lost)
 	}
 	fc := FailureCase{
 		ControlPlane: c.Plane == "control",
@@ -84,8 +90,42 @@ func runWorkloadCell(sp *workload.Spec, c workload.Cell, mode Mode) workload.Out
 		Scenario:     workloadScenario(c.Scenario),
 		Heal:         c.Heal,
 	}
-	r := ReplayManagementRF(fc, mode, c.Seed, c.RFJitter)
-	return workload.Outcome{Recovered: r.Recovered, Disruption: r.Disruption, UserNotified: r.UserNotified}
+	r := ReplayManagementInst(fc, mode, c.Seed, RFProfile{Jitter: c.RFJitter, Windows: cellRFWindows(c)}, inst)
+	return outcomeOf(r, 0, 0)
+}
+
+// cellRFWindows converts a compiled cell's scheduled RF windows into the
+// testbed vocabulary (loss windows first, then partitions; the arming
+// order is irrelevant because windows of one kind never overlap).
+func cellRFWindows(c workload.Cell) []RFWindow {
+	if len(c.LossWindows) == 0 && len(c.PartitionWindows) == 0 {
+		return nil
+	}
+	out := make([]RFWindow, 0, len(c.LossWindows)+len(c.PartitionWindows))
+	for _, w := range c.LossWindows {
+		out = append(out, RFWindow{
+			At:   time.Duration(w.AtSec * float64(time.Second)),
+			Dur:  time.Duration(w.DurSec * float64(time.Second)),
+			Loss: w.Loss,
+		})
+	}
+	for _, w := range c.PartitionWindows {
+		out = append(out, RFWindow{
+			At:        time.Duration(w.AtSec * float64(time.Second)),
+			Dur:       time.Duration(w.DurSec * float64(time.Second)),
+			Partition: true,
+		})
+	}
+	return out
+}
+
+// outcomeOf folds a replay result into the workload outcome vocabulary.
+func outcomeOf(r ReplayResult, hos, lost int) workload.Outcome {
+	return workload.Outcome{
+		Recovered: r.Recovered, Disruption: r.Disruption,
+		UserNotified: r.UserNotified, Handovers: hos, ContextLoss: lost,
+		Actions: r.Actions, Reboots: r.Reboots, Decisions: r.Decisions,
+	}
 }
 
 // MobilityCase describes one mobility-induced failure scenario: a device
@@ -104,6 +144,9 @@ type MobilityCase struct {
 	LossyHop int
 	// RFJitter optionally degrades the radio for the whole case.
 	RFJitter time.Duration
+	// RFWindows optionally schedules loss/partition windows (offsets
+	// relative to device creation).
+	RFWindows []RFWindow
 }
 
 // ReplayMobility boots a multi-cell testbed, connects one device, walks
@@ -114,12 +157,21 @@ type MobilityCase struct {
 // result plus the testbed's handover and context-loss counters so callers
 // can merge them into corpus stats.
 func ReplayMobility(mc MobilityCase, mode Mode, seedVal int64) (ReplayResult, int, int) {
+	return ReplayMobilityInst(mc, mode, seedVal, nil)
+}
+
+// ReplayMobilityInst is ReplayMobility with an optional Instrument (nil
+// is exactly ReplayMobility — mobility cells always boot fresh, so the
+// instrumented and plain paths share every byte of setup).
+func ReplayMobilityInst(mc MobilityCase, mode Mode, seedVal int64, inst *Instrument) (ReplayResult, int, int) {
 	tb := New(seedVal)
 	tb.EnableCells(mc.Cells, mc.DefaultLoss)
 	for _, e := range mc.Edges {
 		tb.SetEdgeContextLoss(e.From, e.To, e.ContextLoss)
 	}
 	tb.rfJitter = mc.RFJitter
+	tb.rfWindows = mc.RFWindows
+	tb.SetInstrument(inst)
 	d := tb.NewDevice(mode)
 	d.Start()
 	if !tb.RunUntil(d.Connected, connectDeadline) {
@@ -137,6 +189,7 @@ func ReplayMobility(mc MobilityCase, mode Mode, seedVal int64) (ReplayResult, in
 	recovered := tb.RunUntil(d.Connected, replayWindow)
 	hos, lost := tb.Handovers()
 	res := ReplayResult{Recovered: recovered, UserNotified: d.UserNoticeCount() > 0}
+	res.captureDevice(d)
 	if recovered && onset >= 0 {
 		res.Disruption = tb.Now() - onset
 		if res.Disruption < 0 {

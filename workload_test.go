@@ -80,6 +80,40 @@ func TestWorkloadCorpusParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestRFWindowsShapeReplay drives the scheduled RF impairment windows
+// end to end: a partition window laid over the failure onset must delay
+// recovery relative to the same cell without windows, a window that
+// closes before the failure must leave the outcome untouched, and both
+// arms must be deterministic across repeated runs.
+func TestRFWindowsShapeReplay(t *testing.T) {
+	fc := seed.FailureCase{ControlPlane: true, CauseCode: 9, Scenario: seed.ScenarioTransient, Heal: 2 * time.Second}
+	run := func(ws []seed.RFWindow) seed.ReplayResult {
+		return seed.ReplayManagementInst(fc, seed.ModeSEEDU, 21, seed.RFProfile{Windows: ws}, nil)
+	}
+	plain := run(nil)
+	if !plain.Recovered {
+		t.Fatalf("baseline did not recover: %+v", plain)
+	}
+	// Replays inject the failure ~5s after boot; a partition from 3s to
+	// 33s swallows the failure onset and the recovery traffic.
+	blocking := []seed.RFWindow{{At: 3 * time.Second, Dur: 30 * time.Second, Partition: true}}
+	blocked := run(blocking)
+	if blocked.Recovered && blocked.Disruption <= plain.Disruption {
+		t.Fatalf("partition window did not slow recovery: %v vs %v", blocked.Disruption, plain.Disruption)
+	}
+	// A window that opens and closes before the failure must be invisible
+	// in the outcome.
+	early := run([]seed.RFWindow{{At: time.Second, Dur: time.Second, Loss: 0.9}})
+	if early.Recovered != plain.Recovered || early.Disruption != plain.Disruption {
+		t.Fatalf("pre-failure window changed the outcome: %+v vs %+v", early, plain)
+	}
+	for i := 0; i < 2; i++ {
+		if again := run(blocking); again.Recovered != blocked.Recovered || again.Disruption != blocked.Disruption {
+			t.Fatalf("windowed replay not deterministic: %+v vs %+v", again, blocked)
+		}
+	}
+}
+
 // TestMobilityContrast replays the two mobility-induced classes under
 // every stack: legacy recovery rides the T3502 backoff (minutes), SEED
 // diagnoses the lost context and recovers in seconds.
